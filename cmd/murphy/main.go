@@ -1,0 +1,105 @@
+// Command murphy diagnoses a performance symptom against a monitoring
+// snapshot: it loads a telemetry database from JSON (see cmd/murphygen for
+// producing one), builds the relationship graph, trains the MRF online, and
+// prints the ranked root causes with explanation chains.
+//
+// Usage:
+//
+//	murphy -snapshot db.json -entity backend-vm -metric cpu_util [-low]
+//	murphy -snapshot db.json -app shop            # scan for symptoms first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"murphy"
+	"murphy/internal/telemetry"
+)
+
+func main() {
+	var (
+		snapshot = flag.String("snapshot", "", "path to a telemetry snapshot JSON (required)")
+		entity   = flag.String("entity", "", "symptom entity ID")
+		metric   = flag.String("metric", "", "symptom metric name")
+		low      = flag.Bool("low", false, "symptom is abnormally low (default: high)")
+		app      = flag.String("app", "", "affected application: scan it for symptoms and diagnose each")
+		topK     = flag.Int("top", 5, "how many root causes to print per symptom")
+		samples  = flag.Int("samples", 5000, "Monte-Carlo samples per counterfactual test")
+		window   = flag.Int("window", 300, "online-training window (time slices)")
+	)
+	flag.Parse()
+	if *snapshot == "" {
+		fmt.Fprintln(os.Stderr, "murphy: -snapshot is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*snapshot)
+	if err != nil {
+		fatal(err)
+	}
+	db, err := telemetry.ReadJSON(f)
+	f.Close()
+	if err != nil {
+		fatal(err)
+	}
+	cfg := murphy.DefaultConfig()
+	cfg.Samples = *samples
+	cfg.TrainWindow = *window
+
+	opts := []murphy.Option{murphy.WithConfig(cfg)}
+	var symptoms []telemetry.Symptom
+	switch {
+	case *entity != "" && *metric != "":
+		opts = append(opts, murphy.WithSeeds(telemetry.EntityID(*entity)))
+		symptoms = []telemetry.Symptom{{Entity: telemetry.EntityID(*entity), Metric: *metric, High: !*low}}
+	case *app != "":
+		opts = append(opts, murphy.WithApp(db, *app))
+	default:
+		fmt.Fprintln(os.Stderr, "murphy: need either -entity and -metric, or -app")
+		os.Exit(2)
+	}
+	sys, err := murphy.New(db, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	if len(symptoms) == 0 {
+		symptoms = sys.FindSymptoms(*app)
+		if len(symptoms) == 0 {
+			fmt.Printf("no problematic symptoms found in app %q at the latest slice\n", *app)
+			return
+		}
+		fmt.Printf("found %d problematic symptom(s) in app %q\n", len(symptoms), *app)
+	}
+	for _, sym := range symptoms {
+		fmt.Printf("\n=== symptom: %s ===\n", sym)
+		report, err := sys.Diagnose(sym)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "murphy: %v\n", err)
+			continue
+		}
+		if len(report.Causes) == 0 {
+			fmt.Println("no root cause passed the counterfactual test")
+			continue
+		}
+		for i, rc := range report.Top(*topK) {
+			e := db.Entity(rc.Entity)
+			fmt.Printf("%2d. %-40s anomaly=%.1f  p=%.4f  effect=%.2f\n", i+1, e, rc.Score, rc.PValue, rc.Effect)
+			if rc.Explanation != "" {
+				fmt.Printf("    chain: %s\n", rc.Explanation)
+			}
+		}
+		if len(report.RecentChanges) > 0 {
+			fmt.Println("recent configuration changes in the training window:")
+			for _, ev := range report.RecentChanges {
+				fmt.Printf("    %s\n", ev)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "murphy: %v\n", err)
+	os.Exit(1)
+}

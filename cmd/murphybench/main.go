@@ -1,0 +1,185 @@
+// Command murphybench regenerates the paper's tables and figures on the
+// emulated environments. Each experiment prints the same rows or series the
+// paper reports; -full uses paper-scale parameters (slower), the default is
+// a reduced-scale run with the identical code path.
+//
+// Usage:
+//
+//	murphybench -exp all
+//	murphybench -exp fig5c,table1 -full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"murphy/internal/enterprise"
+	"murphy/internal/harness"
+)
+
+func main() {
+	var (
+		exp  = flag.String("exp", "all", "comma-separated experiments: fig5c, fig5d, table1, fig6b, fig6c, table2, fig7, fig8a, fig8b, scaling, sensitivity, cycles, all")
+		full = flag.Bool("full", false, "use paper-scale parameters (slow)")
+	)
+	flag.Parse()
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	run := func(names ...string) bool {
+		if all {
+			return true
+		}
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return false
+	}
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "murphybench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if run("fig5c", "fig5d", "fig5") {
+		opts := harness.DefaultFig5Options()
+		if *full {
+			opts.Samples = 5000
+			opts.Steps = 400
+		}
+		res, err := harness.RunFig5(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res)
+	}
+	if run("table1") {
+		opts := harness.DefaultTable1Options()
+		if *full {
+			opts.Samples = 5000
+			opts.Gen.Apps = 12
+			opts.Gen.Hosts = 12
+		}
+		res, err := harness.RunTable1(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res)
+	}
+	if run("fig6b", "fig6c", "fig6") {
+		for _, topo := range []string{"social", "hotel"} {
+			if !all && !want["fig6"] {
+				if topo == "social" && !want["fig6b"] {
+					continue
+				}
+				if topo == "hotel" && !want["fig6c"] {
+					continue
+				}
+			}
+			opts := harness.DefaultFig6Options()
+			opts.Topo = topo
+			if *full {
+				opts.Scenarios = 100
+				opts.Samples = 5000
+			}
+			res, err := harness.RunFig6(opts)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Print(res)
+		}
+	}
+	if run("table2") {
+		opts := harness.DefaultTable2Options()
+		if *full {
+			opts.Scenarios = 50
+			opts.Samples = 5000
+		}
+		res, err := harness.RunTable2(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res)
+	}
+	if run("fig7") {
+		opts := harness.DefaultFig7Options()
+		if *full {
+			opts.Scenarios = 64
+			opts.Samples = 5000
+		}
+		res, err := harness.RunFig7(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res)
+	}
+	if run("fig8a") {
+		opts := harness.DefaultFig8aOptions()
+		if *full {
+			opts.Gen.Apps = 300
+			opts.Gen.Hosts = 120
+			opts.Gen.MaxVMsPerTier = 3
+		}
+		res, err := harness.RunFig8a(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res)
+	}
+	if run("fig8b") {
+		opts := harness.DefaultFig8bOptions()
+		if *full {
+			opts.ScenariosPerApp = 32
+			opts.Samples = 5000
+		}
+		res, err := harness.RunFig8b(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res)
+	}
+	if run("scaling") {
+		opts := harness.DefaultScalingOptions()
+		if *full {
+			opts.AppCounts = []int{4, 8, 16, 32}
+		}
+		res, err := harness.RunScaling(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res)
+	}
+	if run("sensitivity") {
+		opts := harness.DefaultSensitivityOptions()
+		if *full {
+			opts.Scenarios = 32
+			opts.Samples = 5000
+		}
+		res, err := harness.RunSensitivity(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res)
+	}
+	if run("cycles") {
+		gen := enterprise.DefaultGenOptions()
+		gen.Apps = 8
+		gen.Hosts = 8
+		gen.Steps = 160
+		if *full {
+			gen.Apps = 40
+			gen.Hosts = 30
+			gen.MaxVMsPerTier = 3
+		}
+		res, err := harness.RunCycleStats(gen)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res)
+	}
+}

@@ -1,0 +1,86 @@
+// Quickstart: build a small monitoring database by hand, inject a
+// heavy-hitter incident, and ask Murphy what caused the backend's CPU spike.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"murphy"
+	"murphy/internal/telemetry"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	db := telemetry.NewDB(600) // 10-minute slices, as in the enterprise platform
+
+	// Entities: a client VM, the TCP flow it opens, a web VM, a backend VM.
+	entities := []*telemetry.Entity{
+		{ID: "client", Type: telemetry.TypeVM, Name: "crawler-vm", App: "shop"},
+		{ID: "flow", Type: telemetry.TypeFlow, Name: "crawler->web", App: "shop"},
+		{ID: "web", Type: telemetry.TypeVM, Name: "web-vm", App: "shop", Tier: "web"},
+		{ID: "backend", Type: telemetry.TypeVM, Name: "db-vm", App: "shop", Tier: "db"},
+	}
+	for _, e := range entities {
+		if err := db.AddEntity(e); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Loose metadata associations, added bidirectionally (§4.1): the
+	// platform knows these entities are related but not who causes whom.
+	for _, pair := range [][2]telemetry.EntityID{
+		{"client", "flow"}, {"flow", "web"}, {"web", "backend"},
+	} {
+		if err := db.Associate(pair[0], pair[1], telemetry.Bidirectional); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// One week of history at a few hundred points; the crawler goes rogue
+	// in the final hour.
+	const total = 260
+	for t := 0; t < total; t++ {
+		load := 50 + 10*math.Sin(float64(t)/20) + rng.NormFloat64()*2
+		if t >= total-6 {
+			load += 400 // the incident
+		}
+		observe(db, "client", telemetry.MetricNetTx, t, load*12+rng.NormFloat64())
+		observe(db, "flow", telemetry.MetricSessions, t, load+rng.NormFloat64())
+		observe(db, "flow", telemetry.MetricThroughput, t, load*1500+rng.NormFloat64()*50)
+		observe(db, "web", telemetry.MetricCPU, t, 0.10+load*0.0009+rng.NormFloat64()*0.004)
+		observe(db, "backend", telemetry.MetricCPU, t, 0.12+load*0.0014+rng.NormFloat64()*0.004)
+	}
+
+	sys, err := murphy.New(db, murphy.WithApp(db, "shop"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A ticket only says "shop is slow" — find the problematic symptoms.
+	symptoms := sys.FindSymptoms("shop")
+	fmt.Printf("detected %d problematic symptoms\n", len(symptoms))
+
+	sym := telemetry.Symptom{Entity: "backend", Metric: telemetry.MetricCPU, High: true}
+	report, err := sys.Diagnose(sym)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndiagnosis for %s:\n", sym)
+	for i, rc := range report.Top(3) {
+		fmt.Printf("%d. %s (anomaly %.1f, p=%.4f, effect %.2f)\n",
+			i+1, db.Entity(rc.Entity), rc.Score, rc.PValue, rc.Effect)
+		if rc.Explanation != "" {
+			fmt.Printf("   %s\n", rc.Explanation)
+		}
+	}
+}
+
+func observe(db *telemetry.DB, id telemetry.EntityID, metric string, t int, v float64) {
+	if err := db.Observe(id, metric, t, v); err != nil {
+		log.Fatal(err)
+	}
+}

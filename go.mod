@@ -1,0 +1,3 @@
+module murphy
+
+go 1.22

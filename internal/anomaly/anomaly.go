@@ -1,0 +1,98 @@
+// Package anomaly identifies problematic symptoms (Appendix A.1): when a
+// trouble ticket names an affected application but not a concrete (entity,
+// metric) pair, Murphy scans the application's entities for metrics that are
+// anomalous in the current time slice under preset conservative thresholds,
+// and feeds each hit to the diagnosis engine as a symptom.
+package anomaly
+
+import (
+	"sort"
+
+	"murphy/internal/stats"
+	"murphy/internal/telemetry"
+)
+
+// Detector scans entity metrics for threshold violations.
+type Detector struct {
+	// ZThreshold is the minimum |z| (vs trailing history) for a metric to
+	// count as a problematic symptom.
+	ZThreshold float64
+	// HistoryWindow is how many trailing slices (excluding the current one)
+	// form the baseline.
+	HistoryWindow int
+	// MinHistory is the minimum number of baseline points required; newer
+	// entities are skipped rather than misjudged.
+	MinHistory int
+}
+
+// NewDetector returns a detector with the conservative defaults used in the
+// evaluation (z >= 3 against up to one day of history).
+func NewDetector() *Detector {
+	return &Detector{ZThreshold: 3, HistoryWindow: 144, MinHistory: 8}
+}
+
+// ScoredSymptom is a detected symptom with its anomaly magnitude.
+type ScoredSymptom struct {
+	telemetry.Symptom
+	Z float64 // signed z-score of the current value vs history
+}
+
+// ScanEntity returns the problematic symptoms of one entity at slice now.
+func (d *Detector) ScanEntity(db *telemetry.DB, id telemetry.EntityID, now int) []ScoredSymptom {
+	var out []ScoredSymptom
+	lo := now - d.HistoryWindow
+	if lo < 0 {
+		lo = 0
+	}
+	for _, metric := range db.MetricNames(id) {
+		s := db.Series(id, metric)
+		cur := s.At(now)
+		if cur != cur { // NaN: nothing observed now
+			continue
+		}
+		hist := s.Window(lo, now)
+		clean := hist[:0]
+		for _, v := range hist {
+			if v == v {
+				clean = append(clean, v)
+			}
+		}
+		if len(clean) < d.MinHistory {
+			continue
+		}
+		z := stats.ZScore(cur, clean)
+		if z >= d.ZThreshold || z <= -d.ZThreshold {
+			out = append(out, ScoredSymptom{
+				Symptom: telemetry.Symptom{Entity: id, Metric: metric, High: z > 0},
+				Z:       z,
+			})
+		}
+	}
+	return out
+}
+
+// ScanApp returns the problematic symptoms across all entities of an
+// application at slice now, most anomalous first.
+func (d *Detector) ScanApp(db *telemetry.DB, app string, now int) []ScoredSymptom {
+	var out []ScoredSymptom
+	for _, id := range db.AppMembers(app) {
+		out = append(out, d.ScanEntity(db, id, now)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := out[i].Z, out[j].Z
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		if ai != aj {
+			return ai > aj
+		}
+		if out[i].Entity != out[j].Entity {
+			return out[i].Entity < out[j].Entity
+		}
+		return out[i].Metric < out[j].Metric
+	})
+	return out
+}

@@ -1,0 +1,187 @@
+package anomaly
+
+import (
+	"math/rand"
+	"testing"
+
+	"murphy/internal/telemetry"
+)
+
+func symptomDB(t *testing.T) *telemetry.DB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(8))
+	db := telemetry.NewDB(600)
+	for _, e := range []*telemetry.Entity{
+		{ID: "a", Type: telemetry.TypeVM, Name: "a", App: "shop"},
+		{ID: "b", Type: telemetry.TypeVM, Name: "b", App: "shop"},
+		{ID: "fresh", Type: telemetry.TypeVM, Name: "fresh", App: "shop"},
+		{ID: "other", Type: telemetry.TypeVM, Name: "other", App: "blog"},
+	} {
+		if err := db.AddEntity(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 100
+	for tt := 0; tt < total; tt++ {
+		// a: spikes high at the end; b: quiet; other: spikes but wrong app.
+		av := 10 + rng.NormFloat64()
+		if tt == total-1 {
+			av = 50
+		}
+		if err := db.Observe("a", telemetry.MetricCPU, tt, av); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Observe("a", telemetry.MetricMem, tt, 30+rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Observe("b", telemetry.MetricCPU, tt, 20+rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+		ov := 5 + rng.NormFloat64()
+		if tt == total-1 {
+			ov = 80
+		}
+		if err := db.Observe("other", telemetry.MetricCPU, tt, ov); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// fresh has only the current observation: insufficient history.
+	if err := db.Observe("fresh", telemetry.MetricCPU, total-1, 99); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestScanEntityFindsSpike(t *testing.T) {
+	db := symptomDB(t)
+	d := NewDetector()
+	got := d.ScanEntity(db, "a", db.Len()-1)
+	if len(got) != 1 {
+		t.Fatalf("symptoms = %+v, want exactly the CPU spike", got)
+	}
+	s := got[0]
+	if s.Metric != telemetry.MetricCPU || !s.High || s.Z < d.ZThreshold {
+		t.Fatalf("symptom = %+v", s)
+	}
+}
+
+func TestScanEntityQuiet(t *testing.T) {
+	db := symptomDB(t)
+	d := NewDetector()
+	if got := d.ScanEntity(db, "b", db.Len()-1); len(got) != 0 {
+		t.Fatalf("quiet entity should have no symptoms, got %+v", got)
+	}
+}
+
+func TestScanEntitySkipsInsufficientHistory(t *testing.T) {
+	db := symptomDB(t)
+	d := NewDetector()
+	if got := d.ScanEntity(db, "fresh", db.Len()-1); len(got) != 0 {
+		t.Fatalf("entity without history must be skipped, got %+v", got)
+	}
+}
+
+func TestScanAppScopedAndSorted(t *testing.T) {
+	db := symptomDB(t)
+	d := NewDetector()
+	got := d.ScanApp(db, "shop", db.Len()-1)
+	if len(got) != 1 || got[0].Entity != "a" {
+		t.Fatalf("app scan = %+v", got)
+	}
+	// The blog app's entity must not leak into shop's scan.
+	for _, s := range got {
+		if s.Entity == "other" {
+			t.Fatal("wrong-app entity in scan")
+		}
+	}
+	if got := d.ScanApp(db, "ghost-app", db.Len()-1); len(got) != 0 {
+		t.Fatal("unknown app should scan empty")
+	}
+}
+
+func TestLowDirectionSymptom(t *testing.T) {
+	db := telemetry.NewDB(600)
+	if err := db.AddEntity(&telemetry.Entity{ID: "x", Type: telemetry.TypeVM, Name: "x", App: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for tt := 0; tt < 60; tt++ {
+		v := 100 + rng.NormFloat64()
+		if tt == 59 {
+			v = 5 // collapse
+		}
+		if err := db.Observe("x", telemetry.MetricThroughput, tt, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := NewDetector().ScanEntity(db, "x", 59)
+	if len(got) != 1 || got[0].High {
+		t.Fatalf("collapse should be a low symptom, got %+v", got)
+	}
+}
+
+func TestScanAppOrdersByMagnitude(t *testing.T) {
+	db := telemetry.NewDB(600)
+	for _, id := range []telemetry.EntityID{"big", "small"} {
+		if err := db.AddEntity(&telemetry.Entity{ID: id, Type: telemetry.TypeVM, Name: string(id), App: "a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	for tt := 0; tt < 60; tt++ {
+		bv, sv := 10+rng.NormFloat64(), 10+rng.NormFloat64()
+		if tt == 59 {
+			bv, sv = 200, 50 // both anomalous, big more so
+		}
+		if err := db.Observe("big", telemetry.MetricCPU, tt, bv); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Observe("small", telemetry.MetricCPU, tt, sv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := NewDetector().ScanApp(db, "a", 59)
+	if len(got) != 2 {
+		t.Fatalf("symptoms = %+v", got)
+	}
+	if got[0].Entity != "big" || got[1].Entity != "small" {
+		t.Fatalf("order wrong: %+v", got)
+	}
+}
+
+func TestScanAppTieBreaking(t *testing.T) {
+	// Two entities with identical series: |z| ties break by entity then
+	// metric name, deterministically.
+	db := telemetry.NewDB(600)
+	for _, id := range []telemetry.EntityID{"b-ent", "a-ent"} {
+		if err := db.AddEntity(&telemetry.Entity{ID: id, Type: telemetry.TypeVM, Name: string(id), App: "a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for tt := 0; tt < 40; tt++ {
+		v := float64(10)
+		if tt == 39 {
+			v = 100
+		}
+		// Slight jitter so std is non-zero but identical across entities.
+		v += float64(tt % 2)
+		for _, id := range []telemetry.EntityID{"b-ent", "a-ent"} {
+			if err := db.Observe(id, telemetry.MetricCPU, tt, v); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Observe(id, telemetry.MetricMem, tt, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	got := NewDetector().ScanApp(db, "a", 39)
+	if len(got) != 4 {
+		t.Fatalf("symptoms = %d, want 4", len(got))
+	}
+	if got[0].Entity != "a-ent" || got[0].Metric != telemetry.MetricCPU {
+		t.Fatalf("tie-break order wrong: %+v", got[:2])
+	}
+	if got[1].Entity != "a-ent" || got[1].Metric != telemetry.MetricMem {
+		t.Fatalf("metric tie-break wrong: %+v", got[:2])
+	}
+}

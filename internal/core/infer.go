@@ -1,0 +1,295 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"murphy/internal/stats"
+	"murphy/internal/telemetry"
+)
+
+// RootCause is one diagnosed root-cause entity for a symptom.
+type RootCause struct {
+	Entity telemetry.EntityID
+	// Score is the anomaly score used for ranking (higher ranks first).
+	Score float64
+	// PValue is the Welch t-test p-value of the counterfactual shift.
+	PValue float64
+	// Effect is the mean shift of the symptom metric under the
+	// counterfactual, in units of the symptom metric's historical std
+	// (positive = the counterfactual alleviates the symptom).
+	Effect float64
+	// Path is the shortest-path subgraph (candidate → symptom) the
+	// resampler walked, in resampling order.
+	Path []telemetry.EntityID
+}
+
+// Diagnosis is the result of one Diagnose call.
+type Diagnosis struct {
+	Symptom telemetry.Symptom
+	// Causes is the ranked list of root-cause entities (best first).
+	Causes []RootCause
+	// Candidates is the pruned search space that was evaluated.
+	Candidates []telemetry.EntityID
+	// Elapsed is the wall-clock inference time (excluding training).
+	Elapsed time.Duration
+}
+
+// Ranked returns just the ordered root-cause entity IDs.
+func (d *Diagnosis) Ranked() []telemetry.EntityID {
+	out := make([]telemetry.EntityID, len(d.Causes))
+	for i, c := range d.Causes {
+		out[i] = c.Entity
+	}
+	return out
+}
+
+// Diagnose runs the full inference of §4.2 for one symptom: prune the
+// candidate search space, evaluate every candidate with the counterfactual
+// resampling algorithm, keep the significant ones, and rank them by anomaly
+// score.
+func (m *Model) Diagnose(symptom telemetry.Symptom) (*Diagnosis, error) {
+	if err := m.checkSymptom(symptom); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	deadline := time.Time{}
+	if m.cfg.Timeout > 0 {
+		deadline = start.Add(m.cfg.Timeout)
+	}
+	// The symptom entity itself is always a legal candidate: many real
+	// incidents resolve to the symptomatic entity (a local memory leak, a
+	// threshold excursion with no upstream driver). Its counterfactual is
+	// the degenerate one-node path: normalizing its own anomalous metrics.
+	candidates := append(m.Candidates(symptom.Entity), symptom.Entity)
+	var causes []RootCause
+	for _, cand := range candidates {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		verdict, ok := m.EvaluateCandidate(cand, symptom)
+		if !ok {
+			continue
+		}
+		causes = append(causes, verdict)
+	}
+	sort.Slice(causes, func(i, j int) bool {
+		if causes[i].Score != causes[j].Score {
+			return causes[i].Score > causes[j].Score
+		}
+		return causes[i].Entity < causes[j].Entity
+	})
+	return &Diagnosis{
+		Symptom:    symptom,
+		Causes:     causes,
+		Candidates: candidates,
+		Elapsed:    time.Since(start),
+	}, nil
+}
+
+// checkSymptom validates that a symptom is diagnosable against this model.
+func (m *Model) checkSymptom(symptom telemetry.Symptom) error {
+	if !m.g.Contains(symptom.Entity) {
+		return fmt.Errorf("core: symptom entity %q not in relationship graph", symptom.Entity)
+	}
+	if _, ok := m.factors[metricRef{symptom.Entity, symptom.Metric}]; !ok {
+		return fmt.Errorf("core: no telemetry for symptom metric %s/%s", symptom.Entity, symptom.Metric)
+	}
+	return nil
+}
+
+// Candidates returns the pruned root-cause search space for a symptom
+// entity: a threshold-guided BFS per §4.2. The symptom entity itself is
+// always excluded; the same space is handed to the baselines for fairness.
+func (m *Model) Candidates(symptom telemetry.EntityID) []telemetry.EntityID {
+	return m.g.PrunedCandidates(symptom, m.IsAnomalous, m.cfg.MaxCandidates)
+}
+
+// EvaluateCandidate runs the counterfactual test: would moving candidate A's
+// anomalous metrics two standard deviations toward normal significantly move
+// the symptom metric toward normal? It returns the verdict and whether A
+// qualifies as a root cause.
+func (m *Model) EvaluateCandidate(a telemetry.EntityID, symptom telemetry.Symptom) (RootCause, bool) {
+	d := symptom.Entity
+	path := m.g.ShortestPathSubgraph(a, d)
+	if path == nil {
+		return RootCause{}, false // A cannot influence D in the graph
+	}
+	symRef := metricRef{d, symptom.Metric}
+	symFactor := m.factors[symRef]
+	if symFactor == nil {
+		return RootCause{}, false
+	}
+	cf := m.counterfactualState(a)
+	if cf == nil {
+		return RootCause{}, false // nothing to perturb
+	}
+	rng := rand.New(rand.NewSource(m.cfg.Seed ^ int64(hashID(a))<<1 ^ int64(hashID(d))))
+	d1 := m.resampleSymptom(path, cf, symRef, rng)        // counterfactual start
+	d2 := m.resampleSymptom(path, m.current, symRef, rng) // factual start
+
+	alt := stats.Less // high symptom: counterfactual should be lower
+	if !symptom.High {
+		alt = stats.Greater
+	}
+	res, err := stats.WelchTTest(d1, d2, alt)
+	if err != nil {
+		return RootCause{}, false
+	}
+	shift := stats.Mean(d2) - stats.Mean(d1) // >0 when counterfactual lowers D
+	if !symptom.High {
+		shift = -shift
+	}
+	scale := symFactor.hstd
+	if scale == 0 {
+		scale = 1
+	}
+	effect := shift / scale
+	rc := RootCause{
+		Entity: a,
+		Score:  m.AnomalyScore(a),
+		PValue: res.P,
+		Effect: effect,
+		Path:   path,
+	}
+	if res.P > m.cfg.Alpha || effect < m.cfg.MinEffect {
+		// The verdict is still returned populated so callers can inspect
+		// why the candidate was rejected.
+		return rc, false
+	}
+	return rc, true
+}
+
+// counterfactualState returns a copy of the current state with candidate A's
+// anomalous metrics moved cfg.CounterfactualSigma standard deviations toward
+// their historical means. When none of A's metrics clear the pruning
+// threshold, the single most anomalous metric is moved instead; a candidate
+// with no usable history yields nil.
+func (m *Model) counterfactualState(a telemetry.EntityID) map[metricRef]float64 {
+	cf := make(map[metricRef]float64, len(m.current))
+	for k, v := range m.current {
+		cf[k] = v
+	}
+	moved := false
+	bestRef := metricRef{}
+	bestZ := 0.0
+	for _, name := range m.metricsOf[a] {
+		ref := metricRef{a, name}
+		f := m.factors[ref]
+		if f == nil || f.hstd == 0 {
+			continue
+		}
+		z := (m.current[ref] - f.hmean) / f.hstd
+		az := math.Abs(z)
+		if az > bestZ {
+			bestZ, bestRef = az, ref
+		}
+		if az >= m.cfg.AnomalyZ {
+			cf[ref] = m.moveTowardNormal(ref, z)
+			moved = true
+		}
+	}
+	if !moved {
+		if bestZ == 0 {
+			return nil
+		}
+		f := m.factors[bestRef]
+		z := (m.current[bestRef] - f.hmean) / f.hstd
+		cf[bestRef] = m.moveTowardNormal(bestRef, z)
+	}
+	return cf
+}
+
+// moveTowardNormal returns the counterfactual value for a metric whose
+// current z-score is z: cfg.CounterfactualSigma standard deviations toward
+// the historical mean, without overshooting it.
+func (m *Model) moveTowardNormal(ref metricRef, z float64) float64 {
+	f := m.factors[ref]
+	step := m.cfg.CounterfactualSigma
+	if step > math.Abs(z) {
+		step = math.Abs(z)
+	}
+	if z > 0 {
+		return m.current[ref] - step*f.hstd
+	}
+	return m.current[ref] + step*f.hstd
+}
+
+// resampleSymptom runs the Gibbs-variant resampler: starting from the given
+// state, it resamples every metric of every node on the path (ordered by
+// distance from the candidate), repeats for cfg.GibbsRounds rounds, and
+// returns cfg.Samples Monte-Carlo draws of the symptom metric. The candidate
+// (first node) is pinned: its state is the perturbation under test.
+//
+// All chains are advanced in lockstep so the per-factor feature assembly is
+// amortized across samples.
+func (m *Model) resampleSymptom(path []telemetry.EntityID, start map[metricRef]float64, symRef metricRef, rng *rand.Rand) []float64 {
+	n := m.cfg.Samples
+	// chainState[ref][i] is the value of ref in chain i.
+	chainState := make(map[metricRef][]float64)
+	ensure := func(ref metricRef) []float64 {
+		vs, ok := chainState[ref]
+		if !ok {
+			vs = make([]float64, n)
+			v := start[ref]
+			for i := range vs {
+				vs[i] = v
+			}
+			chainState[ref] = vs
+		}
+		return vs
+	}
+	// Pre-touch the symptom ref so a degenerate path still yields samples.
+	ensure(symRef)
+
+	x := make([]float64, 0, 16)
+	for round := 0; round < m.cfg.GibbsRounds; round++ {
+		for pi, id := range path {
+			if pi == 0 {
+				continue // the candidate's perturbed state is held fixed
+			}
+			for _, name := range m.metricsOf[id] {
+				ref := metricRef{id, name}
+				f := m.factors[ref]
+				if f == nil {
+					continue
+				}
+				out := ensure(ref)
+				// Gather feature chains (ensuring initializes any feature
+				// not yet materialized from the start state).
+				featChains := make([][]float64, len(f.features))
+				for j, fr := range f.features {
+					featChains[j] = ensure(fr)
+				}
+				noise := f.model.ResidualStd()
+				for i := 0; i < n; i++ {
+					x = x[:0]
+					for j := range featChains {
+						x = append(x, featChains[j][i])
+					}
+					v := f.model.Predict(x)
+					if noise > 0 {
+						v += rng.NormFloat64() * noise
+					}
+					out[i] = v
+				}
+			}
+		}
+	}
+	res := make([]float64, n)
+	copy(res, chainState[symRef])
+	return res
+}
+
+// hashID gives a stable small hash of an entity ID for seeding.
+func hashID(id telemetry.EntityID) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return h
+}

@@ -1,0 +1,375 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"murphy/internal/graph"
+	"murphy/internal/regress"
+	"murphy/internal/stats"
+	"murphy/internal/telemetry"
+)
+
+// metricRef names one metric of one entity.
+type metricRef struct {
+	entity telemetry.EntityID
+	metric string
+}
+
+func (r metricRef) String() string { return string(r.entity) + "/" + r.metric }
+
+// factor is the learned per-metric factor: a model predicting one metric of
+// an entity from selected neighbor metrics in the same time slice. The MRF's
+// P_v is the product of its per-metric factors.
+type factor struct {
+	target   metricRef
+	features []metricRef
+	model    regress.Predictor
+	// hmean/hstd are the historical mean and std of the target metric over
+	// the training window; used for counterfactual placement.
+	hmean, hstd float64
+	// med and madScale are the training-window median and normal-consistent
+	// MAD scale, kept so the robust anomaly score can be recomputed when a
+	// model is rebound to a different diagnosis slice.
+	med, madScale float64
+	// rscore is |robust z| of the current value against the training
+	// window (median/MAD). Plain z-scores of step anomalies saturate at
+	// √((1-p)/p) regardless of magnitude once the incident is inside the
+	// window, so ranking uses the robust score instead.
+	rscore float64
+	// novel marks a metric with too little observed history to judge
+	// normality (a newly spawned entity, or erased history). Pruning treats
+	// such entities conservatively: they cannot be certified normal.
+	novel bool
+}
+
+// robustScoreAt recomputes the factor's anomaly score for a value v.
+func (f *factor) robustScoreAt(v float64) float64 {
+	var z float64
+	switch {
+	case f.madScale > 0:
+		z = (v - f.med) / f.madScale
+	case f.hstd > 0:
+		z = (v - f.hmean) / f.hstd
+	case v != f.med:
+		z = 1e6
+	}
+	if z > 1e6 {
+		z = 1e6
+	}
+	if z < -1e6 {
+		z = -1e6
+	}
+	return math.Abs(z)
+}
+
+// Model is a trained MRF over a relationship graph: one factor per (entity,
+// metric) pair, learned online from the trailing training window (§4.2
+// "Model training"). It also caches the current (latest-slice) value of
+// every metric, which is the state the inference algorithm perturbs.
+type Model struct {
+	cfg     Config
+	db      *telemetry.DB
+	g       *graph.Graph
+	factors map[metricRef]*factor
+	// current holds the value of every metric at the diagnosis time slice.
+	current map[metricRef]float64
+	// metricsOf caches the metric names per entity.
+	metricsOf map[telemetry.EntityID][]string
+	// trainLo/trainHi is the half-open training window on the slice grid.
+	trainLo, trainHi int
+	// now is the diagnosis time slice (the last slice of the window).
+	now int
+	// trainer builds one regression model per factor.
+	trainer regress.Trainer
+}
+
+// Train fits the MRF on the database restricted to the relationship graph,
+// using the cfg.TrainWindow trailing slices ending at the database's last
+// slice. Murphy never keeps pre-trained models: this runs on every
+// diagnosis call so the window includes in-incident points.
+func Train(db *telemetry.DB, g *graph.Graph, cfg Config) (*Model, error) {
+	return TrainAt(db, g, cfg, db.Len()-1, nil)
+}
+
+// TrainAt fits the MRF with the training window ending at slice `now`
+// (inclusive). A nil trainer uses ridge regression with cfg.Lambda — the
+// paper's production choice; the Fig 8a comparison passes other trainers.
+func TrainAt(db *telemetry.DB, g *graph.Graph, cfg Config, now int, trainer regress.Trainer) (*Model, error) {
+	cfg = cfg.sanitized()
+	if db.Len() == 0 {
+		return nil, fmt.Errorf("core: empty database")
+	}
+	if now < 0 || now >= db.Len() {
+		return nil, fmt.Errorf("core: training endpoint %d outside timeline [0,%d)", now, db.Len())
+	}
+	if trainer == nil {
+		trainer = regress.RidgeTrainer(cfg.Lambda)
+	}
+	m := &Model{
+		cfg:       cfg,
+		db:        db,
+		g:         g,
+		factors:   make(map[metricRef]*factor),
+		current:   make(map[metricRef]float64),
+		metricsOf: make(map[telemetry.EntityID][]string),
+		trainer:   trainer,
+		now:       now,
+	}
+	m.trainHi = now + 1
+	m.trainLo = m.trainHi - cfg.TrainWindow
+	if m.trainLo < 0 {
+		m.trainLo = 0
+	}
+	n := m.trainHi - m.trainLo
+	if n < 8 {
+		return nil, fmt.Errorf("core: training window too short (%d slices)", n)
+	}
+
+	// Cache training windows for every metric of every node once. Missing
+	// observations get a placeholder (§4.2 edge cases); the placeholder is
+	// the metric's observed median — zero-filling would fabricate a step
+	// aligned with whenever observation began, which pollutes correlations.
+	windows := make(map[metricRef][]float64)
+	for _, id := range g.IDs() {
+		names := db.MetricNames(id)
+		m.metricsOf[id] = names
+		for _, name := range names {
+			ref := metricRef{id, name}
+			w := db.RawWindow(id, name, m.trainLo, m.trainHi)
+			def := stats.Median(observedOnly(w))
+			if def != def {
+				def = 0 // nothing observed at all: the type default
+			}
+			for i, v := range w {
+				if v != v {
+					w[i] = def
+				}
+			}
+			windows[ref] = w
+			m.current[ref] = w[len(w)-1]
+		}
+	}
+
+	// Fit one factor per (entity, metric).
+	for _, id := range g.IDs() {
+		inIDs := g.InIDs(id)
+		// Collect all candidate neighbor metric refs.
+		var cand []metricRef
+		for _, nb := range inIDs {
+			for _, name := range m.metricsOf[nb] {
+				cand = append(cand, metricRef{nb, name})
+			}
+		}
+		for _, name := range m.metricsOf[id] {
+			ref := metricRef{id, name}
+			y := windows[ref]
+			hm, hs := stats.MeanStd(y)
+			f := &factor{target: ref, hmean: hm, hstd: hs}
+			// Anomaly scoring uses only actually-observed history: an entity
+			// whose past was never recorded (newly spawned, or the Table 2
+			// missing-values corruption) must be judged against what was
+			// seen, not against the training-time placeholders.
+			obsY := observedOnly(db.RawWindow(id, name, m.trainLo, m.trainHi))
+			// The in-incident tail does not count as judgeable history: if
+			// everything observed is recent (post-erasure), normality cannot
+			// be certified.
+			if len(obsY) < n/4 {
+				f.novel = true
+				obsY = y
+			}
+			f.med = stats.Median(obsY)
+			f.madScale = 1.4826 * stats.MAD(obsY)
+			f.rscore = f.robustScoreAt(y[len(y)-1])
+			// Rank candidates by |corr| with the target; keep the top B
+			// (one-in-ten rule, §4.2).
+			type scored struct {
+				ref metricRef
+				r   float64
+			}
+			ranked := make([]scored, 0, len(cand))
+			for _, c := range cand {
+				ranked = append(ranked, scored{c, stats.AbsPearson(windows[c], y)})
+			}
+			sort.Slice(ranked, func(i, j int) bool {
+				if ranked[i].r != ranked[j].r {
+					return ranked[i].r > ranked[j].r
+				}
+				return ranked[i].ref.String() < ranked[j].ref.String()
+			})
+			b := cfg.TopB
+			if b > len(ranked) {
+				b = len(ranked)
+			}
+			feats := make([]metricRef, 0, b)
+			for _, s := range ranked[:b] {
+				if s.r > 0 {
+					feats = append(feats, s.ref)
+				}
+			}
+			f.features = feats
+			x := make([][]float64, n)
+			for t := 0; t < n; t++ {
+				row := make([]float64, len(feats))
+				for j, fr := range feats {
+					row[j] = windows[fr][t]
+				}
+				x[t] = row
+			}
+			model := trainer()
+			if err := model.Fit(x, y); err != nil {
+				return nil, fmt.Errorf("core: fit factor %s: %w", ref, err)
+			}
+			f.model = model
+			m.factors[ref] = f
+		}
+	}
+	return m, nil
+}
+
+// Rebind returns a copy of the model whose diagnosis slice is `now`: the
+// factors stay as trained, but every current metric value and anomaly score
+// is re-read from the database at the new slice. This is how the §6.5.1
+// offline-training comparison evaluates a stale model against in-incident
+// state.
+func (m *Model) Rebind(now int) (*Model, error) {
+	if now < 0 || now >= m.db.Len() {
+		return nil, fmt.Errorf("core: rebind slice %d outside timeline [0,%d)", now, m.db.Len())
+	}
+	nm := *m
+	nm.now = now
+	nm.current = make(map[metricRef]float64, len(m.current))
+	nm.factors = make(map[metricRef]*factor, len(m.factors))
+	for _, id := range m.g.IDs() {
+		for _, name := range m.metricsOf[id] {
+			ref := metricRef{id, name}
+			w := m.db.Window(id, name, now, now+1)
+			nm.current[ref] = w[0]
+			if old := m.factors[ref]; old != nil {
+				f := *old
+				f.rscore = f.robustScoreAt(w[0])
+				nm.factors[ref] = &f
+			}
+		}
+	}
+	return &nm, nil
+}
+
+// Graph returns the relationship graph the model was trained on.
+func (m *Model) Graph() *graph.Graph { return m.g }
+
+// Config returns the sanitized configuration in effect.
+func (m *Model) Config() Config { return m.cfg }
+
+// Now returns the diagnosis time slice.
+func (m *Model) Now() int { return m.now }
+
+// NumFactors returns the number of trained (entity, metric) factors.
+func (m *Model) NumFactors() int { return len(m.factors) }
+
+// CurrentValue returns the value of (id, metric) at the diagnosis slice.
+func (m *Model) CurrentValue(id telemetry.EntityID, metric string) float64 {
+	return m.current[metricRef{id, metric}]
+}
+
+// AnomalyScore returns the entity's anomaly score: the maximum robust |z|
+// of any of its current metrics against their training-window history
+// (how many deviations the metric sits from its historical center). Root
+// causes are ranked by this score (§4.2 "Ranking the root causes").
+func (m *Model) AnomalyScore(id telemetry.EntityID) float64 {
+	best := 0.0
+	for _, name := range m.metricsOf[id] {
+		f := m.factors[metricRef{id, name}]
+		if f == nil {
+			continue
+		}
+		if f.rscore > best {
+			best = f.rscore
+		}
+	}
+	return best
+}
+
+// conservativeThresholds are the paper's absolute pruning thresholds
+// (footnote 7): 25% utilization, 0.1% drop rate, 50 sessions. Metrics whose
+// units are environment-specific (latency, RPS, raw byte rates) have no
+// absolute threshold and rely on the z-score test.
+var conservativeThresholds = map[string]float64{
+	telemetry.MetricCPU:        0.25,
+	telemetry.MetricMem:        0.25,
+	telemetry.MetricDiskUtil:   0.25,
+	telemetry.MetricBufferUtil: 0.25,
+	telemetry.MetricSpaceUtil:  0.25,
+	telemetry.MetricPktDrops:   0.001,
+	telemetry.MetricLoss:       0.001,
+	telemetry.MetricRetransmit: 0.01,
+	telemetry.MetricSessions:   50,
+}
+
+// IsAnomalous reports whether the entity clears the conservative pruning
+// criteria of §4.2: some current metric is at least cfg.AnomalyZ robust
+// standard deviations from its observed history, or exceeds the paper's
+// absolute conservative threshold for its kind. The absolute arm keeps the
+// search usable for entities whose history was never observed.
+func (m *Model) IsAnomalous(id telemetry.EntityID) bool {
+	if m.AnomalyScore(id) >= m.cfg.AnomalyZ {
+		return true
+	}
+	for _, name := range m.metricsOf[id] {
+		ref := metricRef{id, name}
+		if f := m.factors[ref]; f != nil && f.novel {
+			return true
+		}
+		th, ok := conservativeThresholds[name]
+		if !ok {
+			continue
+		}
+		if m.current[ref] > th {
+			return true
+		}
+	}
+	return false
+}
+
+// MetricZ returns the z-score of one current metric against its history.
+func (m *Model) MetricZ(id telemetry.EntityID, metric string) float64 {
+	ref := metricRef{id, metric}
+	f := m.factors[ref]
+	if f == nil || f.hstd == 0 {
+		return 0
+	}
+	return (m.current[ref] - f.hmean) / f.hstd
+}
+
+// PredictMetric returns the factor's mean prediction for (id, metric) given
+// the current values of its selected features. It is exported for the metric
+// prediction micro-benchmarks (Fig 8a) and the cyclic-effects experiment
+// (Fig 8b / Appendix A.2).
+func (m *Model) PredictMetric(id telemetry.EntityID, metric string) (float64, bool) {
+	f := m.factors[metricRef{id, metric}]
+	if f == nil {
+		return 0, false
+	}
+	return f.model.Predict(m.featureVector(f, m.current)), true
+}
+
+// observedOnly filters NaN (missing) observations out of a raw window.
+func observedOnly(w []float64) []float64 {
+	out := make([]float64, 0, len(w))
+	for _, v := range w {
+		if v == v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// featureVector assembles a factor's input from a state map.
+func (m *Model) featureVector(f *factor, state map[metricRef]float64) []float64 {
+	x := make([]float64, len(f.features))
+	for j, fr := range f.features {
+		x[j] = state[fr]
+	}
+	return x
+}

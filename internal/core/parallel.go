@@ -1,0 +1,68 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"murphy/internal/telemetry"
+)
+
+// DiagnoseParallel is Diagnose with the candidate evaluations fanned out
+// over a bounded worker pool — the parallelism optimization §6.7 suggests.
+// Results are identical to the sequential Diagnose (each candidate's
+// sampler is independently seeded), only wall time changes. workers <= 0
+// uses GOMAXPROCS.
+func (m *Model) DiagnoseParallel(symptom telemetry.Symptom, workers int) (*Diagnosis, error) {
+	if err := m.checkSymptom(symptom); err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	candidates := append(m.Candidates(symptom.Entity), symptom.Entity)
+	type job struct {
+		idx  int
+		cand telemetry.EntityID
+	}
+	jobs := make(chan job)
+	results := make([]*RootCause, len(candidates))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if verdict, ok := m.EvaluateCandidate(j.cand, symptom); ok {
+					v := verdict
+					results[j.idx] = &v
+				}
+			}
+		}()
+	}
+	for i, c := range candidates {
+		jobs <- job{i, c}
+	}
+	close(jobs)
+	wg.Wait()
+	var causes []RootCause
+	for _, r := range results {
+		if r != nil {
+			causes = append(causes, *r)
+		}
+	}
+	sort.Slice(causes, func(i, j int) bool {
+		if causes[i].Score != causes[j].Score {
+			return causes[i].Score > causes[j].Score
+		}
+		return causes[i].Entity < causes[j].Entity
+	})
+	return &Diagnosis{
+		Symptom:    symptom,
+		Causes:     causes,
+		Candidates: candidates,
+		Elapsed:    time.Since(start),
+	}, nil
+}

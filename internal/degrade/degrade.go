@@ -1,0 +1,108 @@
+// Package degrade corrupts a telemetry database in the four ways Table 2
+// evaluates robustness against: a missing association edge, a missing
+// entity, a missing metric on the root-cause entity, and missing historical
+// values for a fraction of entities. Every operation works on a clone so the
+// pristine database survives for the next corruption.
+package degrade
+
+import (
+	"fmt"
+	"math/rand"
+
+	"murphy/internal/telemetry"
+	"murphy/internal/timeseries"
+)
+
+// Protected marks entities a corruption must not delete outright (the
+// symptom entity and the ground-truth entity: removing those changes the
+// question, not the data quality).
+type Protected map[telemetry.EntityID]bool
+
+// MissingEdge removes one random association (both directions) between a
+// non-protected entity pair that has an edge — the "missing RPC parent link"
+// case. It returns the corrupted clone and the removed pair.
+func MissingEdge(db *telemetry.DB, prot Protected, rng *rand.Rand) (*telemetry.DB, [2]telemetry.EntityID, error) {
+	c := db.Clone()
+	type pair struct{ a, b telemetry.EntityID }
+	var pairs []pair
+	for _, a := range c.Entities() {
+		if prot[a] {
+			continue
+		}
+		for _, b := range c.OutNeighbors(a) {
+			if prot[b] || a >= b {
+				continue
+			}
+			pairs = append(pairs, pair{a, b})
+		}
+	}
+	if len(pairs) == 0 {
+		return nil, [2]telemetry.EntityID{}, fmt.Errorf("degrade: no removable edges")
+	}
+	p := pairs[rng.Intn(len(pairs))]
+	c.RemoveEdge(p.a, p.b)
+	c.RemoveEdge(p.b, p.a)
+	return c, [2]telemetry.EntityID{p.a, p.b}, nil
+}
+
+// MissingEntity removes one random non-protected entity with all its metrics
+// and associations.
+func MissingEntity(db *telemetry.DB, prot Protected, rng *rand.Rand) (*telemetry.DB, telemetry.EntityID, error) {
+	c := db.Clone()
+	var victims []telemetry.EntityID
+	for _, id := range c.Entities() {
+		if !prot[id] {
+			victims = append(victims, id)
+		}
+	}
+	if len(victims) == 0 {
+		return nil, "", fmt.Errorf("degrade: no removable entities")
+	}
+	v := victims[rng.Intn(len(victims))]
+	c.RemoveEntity(v)
+	return c, v, nil
+}
+
+// MissingMetric removes one random metric series from the given entity (the
+// paper removes a metric of the root-cause entity).
+func MissingMetric(db *telemetry.DB, entity telemetry.EntityID, rng *rand.Rand) (*telemetry.DB, string, error) {
+	names := db.MetricNames(entity)
+	if len(names) == 0 {
+		return nil, "", fmt.Errorf("degrade: entity %q has no metrics", entity)
+	}
+	c := db.Clone()
+	m := names[rng.Intn(len(names))]
+	c.RemoveMetric(entity, m)
+	return c, m, nil
+}
+
+// MissingValues erases the historical values (everything before keepFrom) of
+// a random fraction of entities, leaving the in-incident tail intact — the
+// newly-spawned-entity case. It returns the corrupted clone and how many
+// entities were affected.
+func MissingValues(db *telemetry.DB, fraction float64, keepFrom int, rng *rand.Rand) (*telemetry.DB, int, error) {
+	if fraction <= 0 || fraction > 1 {
+		return nil, 0, fmt.Errorf("degrade: fraction %v out of (0,1]", fraction)
+	}
+	if keepFrom < 0 || keepFrom >= db.Len() {
+		return nil, 0, fmt.Errorf("degrade: keepFrom %d outside timeline", keepFrom)
+	}
+	c := db.Clone()
+	n := 0
+	for _, id := range c.Entities() {
+		if rng.Float64() >= fraction {
+			continue
+		}
+		n++
+		for _, metric := range c.MetricNames(id) {
+			s := c.Series(id, metric)
+			for t := 0; t < keepFrom && t < s.Len(); t++ {
+				// Erase the observation. Consumers fill placeholders at
+				// training time (Murphy's edge-case rule) but can still see
+				// that the point was never observed.
+				s.Set(t, timeseries.Missing)
+			}
+		}
+	}
+	return c, n, nil
+}

@@ -1,0 +1,144 @@
+package degrade
+
+import (
+	"math/rand"
+	"testing"
+
+	"murphy/internal/telemetry"
+)
+
+func sampleDB(t *testing.T) *telemetry.DB {
+	t.Helper()
+	db := telemetry.NewDB(60)
+	for _, id := range []telemetry.EntityID{"a", "b", "c", "d"} {
+		if err := db.AddEntity(&telemetry.Entity{ID: id, Type: telemetry.TypeVM, Name: string(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range [][2]telemetry.EntityID{{"a", "b"}, {"b", "c"}, {"c", "d"}} {
+		if err := db.Associate(p[0], p[1], telemetry.Bidirectional); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for tt := 0; tt < 20; tt++ {
+		for _, id := range []telemetry.EntityID{"a", "b", "c", "d"} {
+			if err := db.Observe(id, telemetry.MetricCPU, tt, float64(tt)); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Observe(id, telemetry.MetricMem, tt, float64(tt)*2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+func TestMissingEdge(t *testing.T) {
+	db := sampleDB(t)
+	rng := rand.New(rand.NewSource(1))
+	c, pair, err := MissingEdge(db, Protected{"a": true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.HasEdge(pair[0], pair[1]) || c.HasEdge(pair[1], pair[0]) {
+		t.Fatal("edge should be gone in both directions")
+	}
+	if !db.HasEdge(pair[0], pair[1]) {
+		t.Fatal("original must be untouched")
+	}
+	if pair[0] == "a" || pair[1] == "a" {
+		t.Fatal("protected entity's edges must not be chosen")
+	}
+	// All protected: nothing removable.
+	if _, _, err := MissingEdge(db, Protected{"a": true, "b": true, "c": true, "d": true}, rng); err == nil {
+		t.Fatal("no removable edges should error")
+	}
+}
+
+func TestMissingEntity(t *testing.T) {
+	db := sampleDB(t)
+	rng := rand.New(rand.NewSource(2))
+	prot := Protected{"a": true, "d": true}
+	c, victim, err := MissingEntity(db, prot, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prot[victim] {
+		t.Fatal("protected entity removed")
+	}
+	if c.HasEntity(victim) {
+		t.Fatal("victim should be gone")
+	}
+	if !db.HasEntity(victim) {
+		t.Fatal("original must be untouched")
+	}
+	all := Protected{"a": true, "b": true, "c": true, "d": true}
+	if _, _, err := MissingEntity(db, all, rng); err == nil {
+		t.Fatal("no removable entities should error")
+	}
+}
+
+func TestMissingMetric(t *testing.T) {
+	db := sampleDB(t)
+	rng := rand.New(rand.NewSource(3))
+	c, metric, err := MissingMetric(db, "b", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Series("b", metric) != nil {
+		t.Fatal("metric should be gone")
+	}
+	if db.Series("b", metric) == nil {
+		t.Fatal("original must be untouched")
+	}
+	if len(c.MetricNames("b")) != 1 {
+		t.Fatal("exactly one metric should be removed")
+	}
+	empty := telemetry.NewDB(60)
+	if err := empty.AddEntity(&telemetry.Entity{ID: "x", Type: telemetry.TypeVM, Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := MissingMetric(empty, "x", rng); err == nil {
+		t.Fatal("no metrics should error")
+	}
+}
+
+func TestMissingValues(t *testing.T) {
+	db := sampleDB(t)
+	rng := rand.New(rand.NewSource(4))
+	c, n, err := MissingValues(db, 1.0, 15, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("affected = %d, want all 4", n)
+	}
+	// History erased (marked missing), tail intact.
+	if v := c.At("a", telemetry.MetricCPU, 5); v == v {
+		t.Fatalf("history should be missing, got %v", v)
+	}
+	if c.At("a", telemetry.MetricCPU, 17) != 17 {
+		t.Fatal("in-incident tail must survive")
+	}
+	if db.At("a", telemetry.MetricCPU, 5) != 5 {
+		t.Fatal("original must be untouched")
+	}
+	if _, _, err := MissingValues(db, 0, 5, rng); err == nil {
+		t.Fatal("zero fraction should error")
+	}
+	if _, _, err := MissingValues(db, 0.5, 99, rng); err == nil {
+		t.Fatal("keepFrom past timeline should error")
+	}
+}
+
+func TestMissingValuesFraction(t *testing.T) {
+	db := sampleDB(t)
+	rng := rand.New(rand.NewSource(5))
+	_, n, err := MissingValues(db, 0.5, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 0 || n > 4 {
+		t.Fatalf("affected = %d out of range", n)
+	}
+}

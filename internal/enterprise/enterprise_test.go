@@ -1,0 +1,283 @@
+package enterprise
+
+import (
+	"testing"
+
+	"murphy/internal/graph"
+	"murphy/internal/stats"
+	"murphy/internal/telemetry"
+)
+
+func testOpts() GenOptions {
+	return GenOptions{Apps: 7, Hosts: 6, Switches: 2, MaxVMsPerTier: 2, Steps: 160, Seed: 3}
+}
+
+func TestGenerateTopology(t *testing.T) {
+	env, err := Generate(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.AppNames()) != 7 {
+		t.Fatalf("apps = %d", len(env.AppNames()))
+	}
+	db := env.DB
+	// Every app has a client flow associated with a web VM.
+	for i := range env.apps {
+		cf := env.ClientFlow(i)
+		if db.Entity(cf) == nil || db.Entity(cf).Type != telemetry.TypeFlow {
+			t.Fatalf("app %d client flow malformed", i)
+		}
+		if len(db.Neighbors(cf)) < 2 {
+			t.Fatalf("client flow %s should touch client and web VM", cf)
+		}
+		if db.Entity(env.DBVM(i)).Tier != "db" {
+			t.Fatal("DBVM should be db tier")
+		}
+		if db.Entity(env.WebVM(i)).Tier != "web" {
+			t.Fatal("WebVM should be web tier")
+		}
+	}
+	// Infra entities exist.
+	if db.Entity("host-0") == nil || db.Entity("switch-0") == nil {
+		t.Fatal("infra entities missing")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(GenOptions{}); err == nil {
+		t.Fatal("zero options should error")
+	}
+}
+
+func TestRunProducesCoupledMetrics(t *testing.T) {
+	env, err := Generate(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	db := env.DB
+	if db.Len() != 160 {
+		t.Fatalf("timeline = %d", db.Len())
+	}
+	// Flow throughput should correlate strongly with the web VM's CPU — the
+	// coupling the MRF learns from.
+	for i := 0; i < 3; i++ {
+		thr := db.Window(env.ClientFlow(i), telemetry.MetricThroughput, 0, db.Len())
+		cpu := db.Window(env.WebVM(i), telemetry.MetricCPU, 0, db.Len())
+		if r := stats.AbsPearson(thr, cpu); r < 0.5 {
+			t.Fatalf("app %d: flow->VM coupling too weak: r=%v", i, r)
+		}
+	}
+	// All VM CPU values in range.
+	for i := range env.apps {
+		cpu := db.Window(env.WebVM(i), telemetry.MetricCPU, 0, db.Len())
+		for _, v := range cpu {
+			if v < 0 || v > 1 {
+				t.Fatalf("cpu out of range: %v", v)
+			}
+		}
+	}
+}
+
+func TestRunTwiceFails(t *testing.T) {
+	env, err := Generate(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(); err == nil {
+		t.Fatal("second Run must fail")
+	}
+}
+
+func TestRelationshipGraphHasManyCycles(t *testing.T) {
+	env, err := Generate(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Build(env.DB, env.DB.AppMembers(env.AppNames()[0]), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bidirectional associations make 2-cycles ubiquitous (§2.2).
+	if g.CountCycles2() < 20 {
+		t.Fatalf("2-cycles = %d, want plenty", g.CountCycles2())
+	}
+	if g.CountCycles3() < 1 {
+		t.Fatalf("3-cycles = %d, want some", g.CountCycles3())
+	}
+	// Every VM of the app should be on a cycle.
+	for _, id := range env.DB.AppMembers(env.AppNames()[0]) {
+		if env.DB.Entity(id).Type != telemetry.TypeVM {
+			continue
+		}
+		ix, ok := g.Index(id)
+		if !ok {
+			continue
+		}
+		if !g.InCycle(ix) {
+			t.Fatalf("VM %s not on any cycle", id)
+		}
+	}
+}
+
+func TestIncidentLibraryComplete(t *testing.T) {
+	env, err := Generate(testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	incs, err := Incidents(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(incs) != 13 {
+		t.Fatalf("incidents = %d, want 13", len(incs))
+	}
+	calib := 0
+	for i, inc := range incs {
+		if inc.Index != i+1 {
+			t.Fatalf("incident %d has index %d", i, inc.Index)
+		}
+		if len(inc.Truth) == 0 {
+			t.Fatalf("incident %d has no ground truth", inc.Index)
+		}
+		for _, id := range inc.Truth {
+			if env.DB.Entity(id) == nil {
+				t.Fatalf("incident %d truth %q not an entity", inc.Index, id)
+			}
+		}
+		if env.DB.Entity(inc.Symptom.Entity) == nil {
+			t.Fatalf("incident %d symptom entity missing", inc.Index)
+		}
+		if inc.Calibration {
+			calib++
+		}
+	}
+	if calib != 2 {
+		t.Fatalf("calibration incidents = %d, want 2 (§6.2)", calib)
+	}
+}
+
+func TestIncidentsErrors(t *testing.T) {
+	small := testOpts()
+	small.Apps = 2
+	env, err := Generate(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Incidents(env); err == nil {
+		t.Fatal("too few apps should error")
+	}
+	shortOpts := testOpts()
+	shortOpts.Steps = 50
+	env2, err := Generate(shortOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Incidents(env2); err == nil {
+		t.Fatal("too few steps should error")
+	}
+}
+
+func TestRunIncidentCrawler(t *testing.T) {
+	env, inc, err := RunIncident(testOpts(), ByIndex(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Index != 2 {
+		t.Fatalf("wrong incident: %d", inc.Index)
+	}
+	db := env.DB
+	// The backend's CPU must be visibly higher in the fault window.
+	sym := inc.Symptom
+	series := db.Window(sym.Entity, sym.Metric, 0, db.Len())
+	before := stats.Mean(series[inc.Start-30 : inc.Start])
+	during := stats.Mean(series[inc.Start:])
+	if during < before*1.3 {
+		t.Fatalf("crawler incident should raise backend CPU: %v -> %v", before, during)
+	}
+	// The crawler flow throughput also spikes.
+	thr := db.Window(inc.Truth[0], telemetry.MetricThroughput, 0, db.Len())
+	if stats.Mean(thr[inc.Start:]) < stats.Mean(thr[:inc.Start])*3 {
+		t.Fatal("crawler flow should be a heavy hitter")
+	}
+}
+
+func TestRunIncidentDownedVMs(t *testing.T) {
+	env, inc, err := RunIncident(testOpts(), ByIndex(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The crashed VMs report up=0 during the window.
+	for _, vm := range inc.Truth {
+		up := env.DB.At(vm, telemetry.MetricUp, inc.Start+2)
+		if up != 0 {
+			t.Fatalf("crashed VM %s reports up=%v", vm, up)
+		}
+	}
+	if _, _, err := RunIncident(testOpts(), func([]*Incident) *Incident { return nil }); err == nil {
+		t.Fatal("nil selection should error")
+	}
+}
+
+func TestIncidentSymptomDetectable(t *testing.T) {
+	// For a sample of incidents, the symptom entity's metric must be
+	// anomalous at the end of the run: |z| >= 2 vs pre-incident history.
+	for _, idx := range []int{2, 3, 5, 7, 12, 13} {
+		env, inc, err := RunIncident(testOpts(), ByIndex(idx))
+		if err != nil {
+			t.Fatalf("incident %d: %v", idx, err)
+		}
+		db := env.DB
+		series := db.Window(inc.Symptom.Entity, inc.Symptom.Metric, 0, db.Len())
+		hist := series[:inc.Start]
+		cur := series[len(series)-1]
+		z := stats.ZScore(cur, hist)
+		if inc.Symptom.High && z < 2 {
+			t.Fatalf("incident %d: symptom z=%v, want >=2", idx, z)
+		}
+		if !inc.Symptom.High && z > -2 {
+			t.Fatalf("incident %d: symptom z=%v, want <=-2", idx, z)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	e1, _, err := RunIncident(testOpts(), ByIndex(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, _, err := RunIncident(testOpts(), ByIndex(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := e1.ClientFlow(3)
+	a := e1.DB.Window(id, telemetry.MetricRTT, 0, e1.DB.Len())
+	b := e2.DB.Window(id, telemetry.MetricRTT, 0, e2.DB.Len())
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should reproduce identical telemetry")
+		}
+	}
+}
+
+func TestRunIncidentRecordsEvent(t *testing.T) {
+	env, inc, err := RunIncident(testOpts(), ByIndex(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := env.DB.EventsSince(inc.Start)
+	if len(evs) != 1 {
+		t.Fatalf("events = %+v, want the incident's config change", evs)
+	}
+	if evs[0].Entity != inc.Truth[0] || evs[0].Kind != telemetry.EventConfigChanged {
+		t.Fatalf("event = %+v", evs[0])
+	}
+}

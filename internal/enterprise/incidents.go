@@ -1,0 +1,317 @@
+package enterprise
+
+import (
+	"fmt"
+
+	"murphy/internal/telemetry"
+)
+
+// Incident is one Table-1-style production incident: a fault hook injected
+// into the simulation, the operator-decided ground truth, and the observed
+// problematic symptom(s) a trouble ticket would name.
+type Incident struct {
+	// Index is the 1-based incident number matching Table 1's rows.
+	Index int
+	// Name summarizes the observed problem (Table 1 left column).
+	Name string
+	// AppIx is the affected application's index.
+	AppIx int
+	// Hook injects the fault during [Start, End) slices.
+	Hook Hook
+	// Start and End bound the fault window.
+	Start, End int
+	// Truth is the operator-decided resolution set. As in the paper, for
+	// some incidents this is not the physically true cause (e.g. incident
+	// 10, where operators rebooted the nodes although flows caused the
+	// load).
+	Truth []telemetry.EntityID
+	// Symptom is the problematic (entity, metric) the operator hands to the
+	// diagnosis tool.
+	Symptom telemetry.Symptom
+	// Calibration marks the incidents with fully certain ground truth that
+	// §6.2 calibrates false-negative rates on.
+	Calibration bool
+}
+
+// window returns a hook that applies f only inside [start, end).
+func window(start, end int, f Hook) Hook {
+	return func(env *Env, st *StepState) {
+		if st.t >= start && st.t < end {
+			f(env, st)
+		}
+	}
+}
+
+// Incidents instantiates the 13-incident library on a generated environment.
+// The fault window occupies the final tenth of the timeline so the training
+// window includes in-incident points (§6.5.1). Environments need at least 7
+// apps for all incidents to target distinct applications.
+func Incidents(env *Env) ([]*Incident, error) {
+	steps := env.Opts.Steps
+	if steps < 100 {
+		return nil, fmt.Errorf("enterprise: need at least 100 steps for the incident library")
+	}
+	if len(env.apps) < 7 {
+		return nil, fmt.Errorf("enterprise: need at least 7 apps, have %d", len(env.apps))
+	}
+	start := steps - steps/10
+	end := steps
+	app := func(i int) *appTopo { return env.apps[i%len(env.apps)] }
+
+	var out []*Incident
+
+	// 1. Two app nodes crashed due to a plugin.
+	a1 := app(0)
+	crash1, crash2 := a1.vms[a1.appIx[0]].vm, a1.vms[a1.webIx[0]].vm
+	out = append(out, &Incident{
+		Index: 1, Name: "two app nodes crashed due to a plugin", AppIx: 0,
+		Hook: window(start, end, func(env *Env, st *StepState) {
+			st.down[crash1] = true
+			st.down[crash2] = true
+		}),
+		Start: start, End: end,
+		Truth:   []telemetry.EntityID{crash1, crash2},
+		Symptom: telemetry.Symptom{Entity: a1.clientFlow, Metric: telemetry.MetricThroughput, High: false},
+	})
+
+	// 2. App returning a 502 error — the Figure 1 crawler incident: the
+	// client flow turns heavy hitter, saturating backend CPU. Calibration
+	// incident (validated with operators in the paper).
+	a2 := app(1)
+	backend := a2.vms[a2.dbIx[0]].vm
+	out = append(out, &Incident{
+		Index: 2, Name: "app returning a 502 error (crawler heavy hitter)", AppIx: 1,
+		Hook: window(start, end, func(env *Env, st *StepState) {
+			st.demand[1%len(env.apps)] *= 8
+		}),
+		Start: start, End: end,
+		Truth:       []telemetry.EntityID{a2.clientFlow, a2.client},
+		Symptom:     telemetry.Symptom{Entity: backend, Metric: telemetry.MetricCPU, High: true},
+		Calibration: true,
+	})
+
+	// 3. App unavailable — db VM memory exhaustion stalls the app.
+	a3 := app(2)
+	dbvm3 := a3.vms[a3.dbIx[0]].vm
+	out = append(out, &Incident{
+		Index: 3, Name: "app unavailable (db memory exhaustion)", AppIx: 2,
+		Hook: window(start, end, func(env *Env, st *StepState) {
+			st.extraVMMem[dbvm3] = 0.6
+			st.extraVMCPU[dbvm3] = 0.85
+		}),
+		Start: start, End: end,
+		Truth:   []telemetry.EntityID{dbvm3},
+		Symptom: telemetry.Symptom{Entity: a3.vms[a3.webIx[0]].vm, Metric: telemetry.MetricCPU, High: true},
+	})
+
+	// 4. App slow, experiencing timeouts — a bulk backup flow congests the
+	// ToR port of the web host, inflating flow RTT.
+	a4 := app(3)
+	victimPort := env.hosts[a4.vms[a4.webIx[0]].host].port
+	out = append(out, &Incident{
+		Index: 4, Name: "app slow, experiencing timeouts (port congestion)", AppIx: 3,
+		Hook: window(start, end, func(env *Env, st *StepState) {
+			st.extraPortLoad[victimPort] += 5e5
+		}),
+		Start: start, End: end,
+		Truth:   []telemetry.EntityID{victimPort},
+		Symptom: telemetry.Symptom{Entity: a4.clientFlow, Metric: telemetry.MetricRTT, High: true},
+	})
+
+	// 5. App unavailable — noisy-neighbor VM from another app overloads the
+	// host the db VM lives on.
+	a5 := app(4)
+	victimHostIx := a5.vms[a5.dbIx[0]].host
+	var noisy telemetry.EntityID
+	for _, other := range env.apps {
+		if other == a5 {
+			continue
+		}
+		for _, vr := range other.vms {
+			if vr.host == victimHostIx {
+				noisy = vr.vm
+				break
+			}
+		}
+		if noisy != "" {
+			break
+		}
+	}
+	if noisy == "" {
+		// Fall back to the client VM of another app pinned via extra CPU on
+		// the host through a co-located web VM.
+		noisy = env.apps[(4+1)%len(env.apps)].vms[0].vm
+	}
+	out = append(out, &Incident{
+		Index: 5, Name: "app unavailable (noisy neighbor on shared host)", AppIx: 4,
+		Hook: window(start, end, func(env *Env, st *StepState) {
+			st.extraVMCPU[noisy] = 3.5
+		}),
+		Start: start, End: end,
+		Truth:   []telemetry.EntityID{noisy, env.hosts[victimHostIx].id},
+		Symptom: telemetry.Symptom{Entity: a5.vms[a5.dbIx[0]].vm, Metric: telemetry.MetricCPU, High: true},
+	})
+
+	// 6. App redirecting to a maintenance page — web VM taken down.
+	a6 := app(5)
+	web6 := a6.vms[a6.webIx[0]].vm
+	out = append(out, &Incident{
+		Index: 6, Name: "app redirecting to a maintenance page", AppIx: 5,
+		Hook: window(start, end, func(env *Env, st *StepState) {
+			st.down[web6] = true
+		}),
+		Start: start, End: end,
+		Truth:   []telemetry.EntityID{web6},
+		Symptom: telemetry.Symptom{Entity: a6.clientFlow, Metric: telemetry.MetricThroughput, High: false},
+	})
+
+	// 7. Heap memory issue with a node — one VM's memory climbs to the roof.
+	// Calibration incident (unambiguous ground truth).
+	a7 := app(6)
+	heapVM := a7.vms[a7.appIx[0]].vm
+	out = append(out, &Incident{
+		Index: 7, Name: "heap memory issue with a node", AppIx: 6,
+		Hook: window(start, end, func(env *Env, st *StepState) {
+			st.extraVMMem[heapVM] = 0.55
+		}),
+		Start: start, End: end,
+		Truth:       []telemetry.EntityID{heapVM},
+		Symptom:     telemetry.Symptom{Entity: heapVM, Metric: telemetry.MetricMem, High: true},
+		Calibration: true,
+	})
+
+	// 8. App performance degradation — sustained demand surge (growing
+	// crawler-like load, smaller than incident 2).
+	a8 := app(0)
+	out = append(out, &Incident{
+		Index: 8, Name: "app performance degradation (demand surge)", AppIx: 0,
+		Hook: window(start, end, func(env *Env, st *StepState) {
+			st.demand[0] *= 4
+		}),
+		Start: start, End: end,
+		Truth:   []telemetry.EntityID{a8.clientFlow, a8.client},
+		Symptom: telemetry.Symptom{Entity: a8.vms[a8.appIx[0]].vm, Metric: telemetry.MetricCPU, High: true},
+	})
+
+	// 9. App failing with 503 error — datastore saturation stalls the db VM.
+	a9 := app(1)
+	db9 := a9.vms[a9.dbIx[0]].vm
+	out = append(out, &Incident{
+		Index: 9, Name: "app failing with 503 error (datastore saturation)", AppIx: 1,
+		Hook: window(start, end, func(env *Env, st *StepState) {
+			st.extraVMDisk[db9] = 1.5
+			st.extraVMCPU[db9] = 0.4
+		}),
+		Start: start, End: end,
+		Truth:   []telemetry.EntityID{a9.datastore, db9},
+		Symptom: telemetry.Symptom{Entity: db9, Metric: telemetry.MetricCPU, High: true},
+	})
+
+	// 10. Health check failing on 2 nodes — heavy flows push traffic at two
+	// web VMs; operators rebooted the nodes, so the operator-decided truth
+	// is the nodes, not the flows (the paper's mismatch case).
+	a10 := app(2)
+	web10 := a10.vms[a10.webIx[0]].vm
+	app10 := a10.vms[a10.appIx[0]].vm
+	out = append(out, &Incident{
+		Index: 10, Name: "health check failing on 2 nodes", AppIx: 2,
+		Hook: window(start, end, func(env *Env, st *StepState) {
+			st.demand[2%len(env.apps)] *= 5
+			st.extraVMCPU[web10] = 0.4
+			st.extraVMCPU[app10] = 0.4
+		}),
+		Start: start, End: end,
+		Truth:   []telemetry.EntityID{web10, app10},
+		Symptom: telemetry.Symptom{Entity: web10, Metric: telemetry.MetricCPU, High: true},
+	})
+
+	// 11. App redirecting to a maintenance page (second occurrence,
+	// different app): web VM down plus degraded app tier.
+	a11 := app(3)
+	web11 := a11.vms[a11.webIx[0]].vm
+	out = append(out, &Incident{
+		Index: 11, Name: "app redirecting to a maintenance page (2)", AppIx: 3,
+		Hook: window(start, end, func(env *Env, st *StepState) {
+			st.down[web11] = true
+			st.extraVMCPU[a11.vms[a11.appIx[0]].vm] = 0.2
+		}),
+		Start: start, End: end,
+		Truth:   []telemetry.EntityID{web11},
+		Symptom: telemetry.Symptom{Entity: a11.clientFlow, Metric: telemetry.MetricThroughput, High: false},
+	})
+
+	// 12. Slowness in loading data — db disk stress with datastore impact.
+	a12 := app(4)
+	db12 := a12.vms[a12.dbIx[0]].vm
+	out = append(out, &Incident{
+		Index: 12, Name: "slowness in loading data", AppIx: 4,
+		Hook: window(start, end, func(env *Env, st *StepState) {
+			st.extraVMDisk[db12] = 2.0
+		}),
+		Start: start, End: end,
+		Truth:   []telemetry.EntityID{db12, a12.datastore},
+		Symptom: telemetry.Symptom{Entity: db12, Metric: telemetry.MetricDiskRead, High: true},
+	})
+
+	// 13. Performance alert about a node exceeding thresholds — an isolated
+	// CPU excursion with no downstream impact; every scheme reported zero
+	// FPs in the paper.
+	a13 := app(5)
+	alertVM := a13.vms[a13.appIx[0]].vm
+	out = append(out, &Incident{
+		Index: 13, Name: "performance alert about a node exceeding thresholds", AppIx: 5,
+		Hook: window(start, end, func(env *Env, st *StepState) {
+			st.extraVMCPU[alertVM] = 0.35
+		}),
+		Start: start, End: end,
+		Truth:   []telemetry.EntityID{alertVM},
+		Symptom: telemetry.Symptom{Entity: alertVM, Metric: telemetry.MetricCPU, High: true},
+	})
+
+	return out, nil
+}
+
+// RunIncident generates a fresh environment with the same options, replays
+// the incident's hook, and returns the environment ready for diagnosis. Each
+// incident gets its own environment, as each real incident is a separate
+// trouble ticket.
+func RunIncident(opts GenOptions, inc func([]*Incident) *Incident) (*Env, *Incident, error) {
+	env, err := Generate(opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	all, err := Incidents(env)
+	if err != nil {
+		return nil, nil, err
+	}
+	chosen := inc(all)
+	if chosen == nil {
+		return nil, nil, fmt.Errorf("enterprise: no incident selected")
+	}
+	if err := env.Run(chosen.Hook); err != nil {
+		return nil, nil, err
+	}
+	// The platform records the configuration change behind the incident so
+	// Murphy can surface it next to the diagnosis (§4.2 edge cases).
+	if err := env.DB.RecordEvent(telemetry.Event{
+		Slice:  chosen.Start,
+		Kind:   telemetry.EventConfigChanged,
+		Entity: chosen.Truth[0],
+		Detail: chosen.Name,
+	}); err != nil {
+		return nil, nil, err
+	}
+	return env, chosen, nil
+}
+
+// ByIndex returns a selector for RunIncident picking the 1-based incident i.
+func ByIndex(i int) func([]*Incident) *Incident {
+	return func(all []*Incident) *Incident {
+		for _, inc := range all {
+			if inc.Index == i {
+				return inc
+			}
+		}
+		return nil
+	}
+}

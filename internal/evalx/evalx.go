@@ -1,0 +1,139 @@
+// Package evalx provides the accuracy metrics and protocols of §6: top-K
+// recall, precision (1/rank of the first true hit), their "relaxed" variants
+// that accept near-misses like common services/containers, and the
+// false-positive counting protocol of §6.2 in which every scheme's cutoff is
+// calibrated to achieve recall 1 on designated calibration incidents.
+package evalx
+
+import (
+	"murphy/internal/telemetry"
+)
+
+// Hit reports whether any of the first k entries of ranked is in accept.
+func Hit(ranked []telemetry.EntityID, accept map[telemetry.EntityID]bool, k int) bool {
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	for _, id := range ranked[:k] {
+		if accept[id] {
+			return true
+		}
+	}
+	return false
+}
+
+// AcceptSet builds a membership set from entity lists.
+func AcceptSet(lists ...[]telemetry.EntityID) map[telemetry.EntityID]bool {
+	set := make(map[telemetry.EntityID]bool)
+	for _, l := range lists {
+		for _, id := range l {
+			set[id] = true
+		}
+	}
+	return set
+}
+
+// TopKRecall returns the fraction of cases where the accept set was hit in
+// the top k of the corresponding ranking.
+func TopKRecall(rankings [][]telemetry.EntityID, accepts []map[telemetry.EntityID]bool, k int) float64 {
+	if len(rankings) == 0 {
+		return 0
+	}
+	hits := 0
+	for i, r := range rankings {
+		if Hit(r, accepts[i], k) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(rankings))
+}
+
+// Precision returns 1/r where r is the 1-based rank of the first accepted
+// entity, or 0 when none is ranked. This matches the paper's definition: the
+// operator walks the list top-down and false positives past the first hit
+// don't matter.
+func Precision(ranked []telemetry.EntityID, accept map[telemetry.EntityID]bool) float64 {
+	for i, id := range ranked {
+		if accept[id] {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// MeanPrecision averages Precision over cases.
+func MeanPrecision(rankings [][]telemetry.EntityID, accepts []map[telemetry.EntityID]bool) float64 {
+	if len(rankings) == 0 {
+		return 0
+	}
+	s := 0.0
+	for i, r := range rankings {
+		s += Precision(r, accepts[i])
+	}
+	return float64(s) / float64(len(rankings))
+}
+
+// FalsePositives counts the entries of ranked[:cutoff] that are not in the
+// truth set (Table 1's metric). cutoff <= 0 means the whole list.
+func FalsePositives(ranked []telemetry.EntityID, truth map[telemetry.EntityID]bool, cutoff int) int {
+	if cutoff <= 0 || cutoff > len(ranked) {
+		cutoff = len(ranked)
+	}
+	fp := 0
+	for _, id := range ranked[:cutoff] {
+		if !truth[id] {
+			fp++
+		}
+	}
+	return fp
+}
+
+// CalibrationCase is one incident used to calibrate a scheme's cutoff.
+type CalibrationCase struct {
+	Ranked []telemetry.EntityID
+	Truth  map[telemetry.EntityID]bool
+}
+
+// CalibrateCutoff returns the smallest cutoff K such that every calibration
+// case has all of its truth entities inside the top K (recall 1 with zero
+// false negatives, the §6.2 protocol), and ok=false when some truth entity
+// is absent from a ranking entirely — in that case K covers the full lists.
+func CalibrateCutoff(cases []CalibrationCase) (int, bool) {
+	k, ok := 1, true
+	for _, c := range cases {
+		for truthID := range c.Truth {
+			found := false
+			for i, id := range c.Ranked {
+				if id == truthID {
+					if i+1 > k {
+						k = i + 1
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				if len(c.Ranked) > k {
+					k = len(c.Ranked)
+				}
+			}
+		}
+	}
+	return k, ok
+}
+
+// Recall01 returns 1 if any truth entity appears in ranked[:cutoff], else 0.
+func Recall01(ranked []telemetry.EntityID, truth map[telemetry.EntityID]bool, cutoff int) float64 {
+	if Hit(ranked, truth, cutoffOrAll(ranked, cutoff)) {
+		return 1
+	}
+	return 0
+}
+
+func cutoffOrAll(ranked []telemetry.EntityID, cutoff int) int {
+	if cutoff <= 0 || cutoff > len(ranked) {
+		return len(ranked)
+	}
+	return cutoff
+}

@@ -1,0 +1,120 @@
+package evalx
+
+import (
+	"testing"
+
+	"murphy/internal/telemetry"
+)
+
+func ids(ss ...string) []telemetry.EntityID {
+	out := make([]telemetry.EntityID, len(ss))
+	for i, s := range ss {
+		out[i] = telemetry.EntityID(s)
+	}
+	return out
+}
+
+func TestHit(t *testing.T) {
+	ranked := ids("a", "b", "c")
+	accept := AcceptSet(ids("c"))
+	if Hit(ranked, accept, 2) {
+		t.Fatal("c is rank 3, not in top 2")
+	}
+	if !Hit(ranked, accept, 3) {
+		t.Fatal("c is in top 3")
+	}
+	if !Hit(ranked, accept, 100) {
+		t.Fatal("k beyond length should clamp")
+	}
+	if Hit(nil, accept, 5) {
+		t.Fatal("empty ranking never hits")
+	}
+}
+
+func TestTopKRecall(t *testing.T) {
+	rankings := [][]telemetry.EntityID{ids("a", "b"), ids("x", "y"), ids("t", "u", "v")}
+	accepts := []map[telemetry.EntityID]bool{
+		AcceptSet(ids("b")), AcceptSet(ids("z")), AcceptSet(ids("v")),
+	}
+	if got := TopKRecall(rankings, accepts, 2); got != 1.0/3 {
+		t.Fatalf("top-2 recall = %v, want 1/3", got)
+	}
+	if got := TopKRecall(rankings, accepts, 3); got != 2.0/3 {
+		t.Fatalf("top-3 recall = %v, want 2/3", got)
+	}
+	if TopKRecall(nil, nil, 5) != 0 {
+		t.Fatal("empty input should be 0")
+	}
+}
+
+func TestPrecision(t *testing.T) {
+	ranked := ids("a", "b", "c")
+	if got := Precision(ranked, AcceptSet(ids("a"))); got != 1 {
+		t.Fatalf("precision = %v", got)
+	}
+	if got := Precision(ranked, AcceptSet(ids("c"))); got != 1.0/3 {
+		t.Fatalf("precision = %v", got)
+	}
+	if got := Precision(ranked, AcceptSet(ids("z"))); got != 0 {
+		t.Fatalf("precision = %v", got)
+	}
+	mp := MeanPrecision([][]telemetry.EntityID{ranked, ranked},
+		[]map[telemetry.EntityID]bool{AcceptSet(ids("a")), AcceptSet(ids("z"))})
+	if mp != 0.5 {
+		t.Fatalf("mean precision = %v", mp)
+	}
+	if MeanPrecision(nil, nil) != 0 {
+		t.Fatal("empty mean precision should be 0")
+	}
+}
+
+func TestFalsePositives(t *testing.T) {
+	ranked := ids("a", "b", "c", "d")
+	truth := AcceptSet(ids("b"))
+	if got := FalsePositives(ranked, truth, 3); got != 2 {
+		t.Fatalf("FP in top 3 = %d, want 2 (a, c)", got)
+	}
+	if got := FalsePositives(ranked, truth, 0); got != 3 {
+		t.Fatalf("FP over all = %d, want 3", got)
+	}
+	if got := FalsePositives(ranked, truth, 100); got != 3 {
+		t.Fatal("cutoff beyond length should clamp")
+	}
+}
+
+func TestCalibrateCutoff(t *testing.T) {
+	cases := []CalibrationCase{
+		{Ranked: ids("x", "t1", "y"), Truth: AcceptSet(ids("t1"))},
+		{Ranked: ids("t2", "x"), Truth: AcceptSet(ids("t2"))},
+	}
+	k, ok := CalibrateCutoff(cases)
+	if !ok || k != 2 {
+		t.Fatalf("cutoff = %d ok=%v, want 2 true", k, ok)
+	}
+	// Truth missing from one ranking: ok=false, k covers full list.
+	cases = append(cases, CalibrationCase{Ranked: ids("a", "b", "c", "d"), Truth: AcceptSet(ids("zz"))})
+	k, ok = CalibrateCutoff(cases)
+	if ok || k != 4 {
+		t.Fatalf("cutoff = %d ok=%v, want 4 false", k, ok)
+	}
+	// Multi-entity truth: K must cover the deepest one.
+	k, ok = CalibrateCutoff([]CalibrationCase{
+		{Ranked: ids("t1", "x", "t2"), Truth: AcceptSet(ids("t1", "t2"))},
+	})
+	if !ok || k != 3 {
+		t.Fatalf("multi-truth cutoff = %d ok=%v", k, ok)
+	}
+}
+
+func TestRecall01(t *testing.T) {
+	ranked := ids("a", "b")
+	if Recall01(ranked, AcceptSet(ids("b")), 1) != 0 {
+		t.Fatal("b outside cutoff 1")
+	}
+	if Recall01(ranked, AcceptSet(ids("b")), 2) != 1 {
+		t.Fatal("b inside cutoff 2")
+	}
+	if Recall01(ranked, AcceptSet(ids("b")), 0) != 1 {
+		t.Fatal("cutoff 0 means whole list")
+	}
+}

@@ -1,0 +1,92 @@
+// Package explainit implements the ExplainIt baseline (Jeyakumar et al.,
+// SIGMOD 2019) as the paper uses it: fully automated pairwise-correlation
+// root-cause ranking. For a problematic (entity, metric) symptom, every
+// candidate entity is scored by the strongest absolute correlation between
+// any of its metrics and the symptom metric over a recent window, ignoring
+// the topology entirely. That topology-blindness is exactly the weakness the
+// evaluation exposes (§2.3, §6).
+package explainit
+
+import (
+	"fmt"
+	"sort"
+
+	"murphy/internal/stats"
+	"murphy/internal/telemetry"
+)
+
+// Config holds ExplainIt's single tunable.
+type Config struct {
+	// Window is how many trailing slices the correlations are computed on.
+	Window int
+	// MinScore drops candidates whose best correlation is below it; the
+	// FP-calibration protocol of §6.2 tunes this.
+	MinScore float64
+}
+
+// DefaultConfig mirrors the evaluation setup: correlate over the same window
+// Murphy trains on.
+func DefaultConfig() Config { return Config{Window: 300, MinScore: 0} }
+
+// Ranked is one scored candidate.
+type Ranked struct {
+	Entity telemetry.EntityID
+	Score  float64 // best |corr| of any candidate metric with the symptom metric
+}
+
+// Diagnose ranks the candidates for the symptom by pairwise correlation.
+// The candidate set should be the same pruned search space handed to every
+// scheme (§4.2); the symptom entity itself is skipped if present.
+func Diagnose(db *telemetry.DB, symptom telemetry.Symptom, candidates []telemetry.EntityID, cfg Config) ([]Ranked, error) {
+	if cfg.Window <= 2 {
+		cfg.Window = DefaultConfig().Window
+	}
+	hi := db.Len()
+	lo := hi - cfg.Window
+	if lo < 0 {
+		lo = 0
+	}
+	target := db.Window(symptom.Entity, symptom.Metric, lo, hi)
+	if len(target) < 3 {
+		return nil, fmt.Errorf("explainit: not enough history for symptom %s", symptom)
+	}
+	var out []Ranked
+	seen := make(map[telemetry.EntityID]bool, len(candidates))
+	for _, cand := range candidates {
+		if seen[cand] {
+			continue
+		}
+		seen[cand] = true
+		best := 0.0
+		for _, metric := range db.MetricNames(cand) {
+			if cand == symptom.Entity && metric == symptom.Metric {
+				// The symptom entity scores through its *other* metrics;
+				// a metric trivially correlates 1.0 with itself.
+				continue
+			}
+			r := stats.AbsPearson(db.Window(cand, metric, lo, hi), target)
+			if r > best {
+				best = r
+			}
+		}
+		if best >= cfg.MinScore {
+			out = append(out, Ranked{Entity: cand, Score: best})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Entity < out[j].Entity
+	})
+	return out, nil
+}
+
+// RankedIDs extracts the ordered entity IDs from a ranking.
+func RankedIDs(rs []Ranked) []telemetry.EntityID {
+	out := make([]telemetry.EntityID, len(rs))
+	for i, r := range rs {
+		out[i] = r.Entity
+	}
+	return out
+}

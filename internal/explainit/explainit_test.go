@@ -1,0 +1,126 @@
+package explainit
+
+import (
+	"math/rand"
+	"testing"
+
+	"murphy/internal/telemetry"
+)
+
+func corrDB(t *testing.T) *telemetry.DB {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4))
+	db := telemetry.NewDB(600)
+	for _, id := range []telemetry.EntityID{"sym", "strong", "weak", "anti"} {
+		if err := db.AddEntity(&telemetry.Entity{ID: id, Type: telemetry.TypeVM, Name: string(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for tt := 0; tt < 100; tt++ {
+		base := float64(tt%17) + rng.NormFloat64()
+		if err := db.Observe("sym", telemetry.MetricCPU, tt, base); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Observe("strong", telemetry.MetricRPS, tt, 2*base+rng.NormFloat64()*0.1); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Observe("weak", telemetry.MetricRPS, tt, rng.NormFloat64()*10); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Observe("anti", telemetry.MetricRPS, tt, -base+rng.NormFloat64()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestDiagnoseRanksByCorrelation(t *testing.T) {
+	db := corrDB(t)
+	sym := telemetry.Symptom{Entity: "sym", Metric: telemetry.MetricCPU, High: true}
+	got, err := Diagnose(db, sym, []telemetry.EntityID{"strong", "weak", "anti"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("ranking = %+v", got)
+	}
+	if got[0].Entity != "strong" {
+		t.Fatalf("strongest correlate should rank first, got %v", RankedIDs(got))
+	}
+	if got[len(got)-1].Entity != "weak" {
+		t.Fatalf("uncorrelated entity should rank last, got %v", RankedIDs(got))
+	}
+	// Anti-correlation counts via absolute value: anti beats weak.
+	if got[1].Entity != "anti" {
+		t.Fatalf("anti-correlated should rank second, got %v", RankedIDs(got))
+	}
+}
+
+func TestDiagnoseSelfCandidate(t *testing.T) {
+	db := corrDB(t)
+	sym := telemetry.Symptom{Entity: "sym", Metric: telemetry.MetricCPU, High: true}
+	got, err := Diagnose(db, sym, []telemetry.EntityID{"sym", "sym", "strong"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The symptom entity is a legal candidate, scored by its *other*
+	// metrics (never by the symptom metric's trivial self-correlation),
+	// and duplicates are collapsed.
+	selfCount := 0
+	for _, r := range got {
+		if r.Entity == "sym" {
+			selfCount++
+			if r.Score >= 0.999 {
+				t.Fatalf("self-candidate scored by its own symptom metric: %v", r.Score)
+			}
+		}
+	}
+	if selfCount > 1 {
+		t.Fatal("duplicate candidates must be collapsed")
+	}
+}
+
+func TestDiagnoseMinScore(t *testing.T) {
+	db := corrDB(t)
+	sym := telemetry.Symptom{Entity: "sym", Metric: telemetry.MetricCPU, High: true}
+	cfg := DefaultConfig()
+	cfg.MinScore = 0.5
+	got, err := Diagnose(db, sym, []telemetry.EntityID{"strong", "weak", "anti"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range got {
+		if r.Score < 0.5 {
+			t.Fatalf("MinScore violated: %+v", r)
+		}
+		if r.Entity == "weak" {
+			t.Fatal("weak correlate should be cut off")
+		}
+	}
+}
+
+func TestDiagnoseInsufficientHistory(t *testing.T) {
+	db := telemetry.NewDB(600)
+	if err := db.AddEntity(&telemetry.Entity{ID: "x", Type: telemetry.TypeVM, Name: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Observe("x", telemetry.MetricCPU, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	sym := telemetry.Symptom{Entity: "x", Metric: telemetry.MetricCPU, High: true}
+	if _, err := Diagnose(db, sym, nil, DefaultConfig()); err == nil {
+		t.Fatal("too-short history should error")
+	}
+}
+
+func TestZeroWindowFallsBackToDefault(t *testing.T) {
+	db := corrDB(t)
+	sym := telemetry.Symptom{Entity: "sym", Metric: telemetry.MetricCPU, High: true}
+	got, err := Diagnose(db, sym, []telemetry.EntityID{"strong"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("ranking = %+v", got)
+	}
+}

@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"murphy/internal/evalx"
+	"murphy/internal/microsim"
+	"murphy/internal/telemetry"
+)
+
+// Fig5Options parameterizes the performance-interference experiment (§6.1).
+type Fig5Options struct {
+	// Variants is the number of interference scenarios (the paper uses 32,
+	// varying the aggressor's request rate).
+	Variants int
+	// Steps is the emulation length per variant.
+	Steps int
+	// Samples is Murphy's Monte-Carlo sample count.
+	Samples int
+	// TrainWindow is the online-training window in slices.
+	TrainWindow int
+	// Ks are the top-K cutoffs of the Fig 5c curve.
+	Ks []int
+	// Seed drives scenario generation.
+	Seed int64
+}
+
+// DefaultFig5Options returns a fast configuration with the paper's shape.
+func DefaultFig5Options() Fig5Options {
+	return Fig5Options{Variants: 32, Steps: 280, Samples: 400, TrainWindow: 260, Ks: []int{1, 2, 4, 5, 8, 10}, Seed: 1}
+}
+
+// Fig5Result carries the Fig 5c curve and the Fig 5d bars.
+type Fig5Result struct {
+	Opts Fig5Options
+	// TopK[scheme][k] is top-K recall (Fig 5c).
+	TopK map[string]map[int]float64
+	// Recall and Precision at K=5, plus the relaxed variants (Fig 5d).
+	Recall, Precision, RelaxedRecall, RelaxedPrecision map[string]float64
+}
+
+// RunFig5 generates the interference variants and scores every scheme.
+func RunFig5(opts Fig5Options) (*Fig5Result, error) {
+	if opts.Variants <= 0 {
+		return nil, fmt.Errorf("harness: need at least one variant")
+	}
+	cfg := murphyConfig(opts.Samples, opts.TrainWindow)
+	res := &Fig5Result{
+		Opts:             opts,
+		TopK:             map[string]map[int]float64{},
+		Recall:           map[string]float64{},
+		Precision:        map[string]float64{},
+		RelaxedRecall:    map[string]float64{},
+		RelaxedPrecision: map[string]float64{},
+	}
+	rankings := map[string][][]telemetry.EntityID{}
+	var strictAccepts, relaxedAccepts []map[telemetry.EntityID]bool
+	for v := 0; v < opts.Variants; v++ {
+		iOpts := microsim.DefaultInterferenceOptions()
+		iOpts.Steps = opts.Steps
+		iOpts.Seed = opts.Seed + int64(v)
+		// Sweep the aggressor rate across variants as the paper does.
+		iOpts.AggressorSpikeRPS = 800 + float64(v%8)*150
+		sc, err := microsim.Interference(iOpts)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := schemeRankings(sc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Strict truth: the aggressor client or its flow (the same physical
+		// cause seen through either entity).
+		strict := evalx.AcceptSet([]telemetry.EntityID{sc.TruthEntity, sc.Result.FlowEntity["clientA"]})
+		relaxed := evalx.AcceptSet([]telemetry.EntityID{sc.TruthEntity}, sc.Acceptable)
+		strictAccepts = append(strictAccepts, strict)
+		relaxedAccepts = append(relaxedAccepts, relaxed)
+		for _, s := range Schemes {
+			rankings[s] = append(rankings[s], rs[s])
+		}
+	}
+	for _, s := range Schemes {
+		curve := map[int]float64{}
+		for _, k := range opts.Ks {
+			curve[k] = evalx.TopKRecall(rankings[s], strictAccepts, k)
+		}
+		res.TopK[s] = curve
+		res.Recall[s] = evalx.TopKRecall(rankings[s], strictAccepts, 5)
+		res.Precision[s] = evalx.MeanPrecision(rankings[s], strictAccepts)
+		res.RelaxedRecall[s] = evalx.TopKRecall(rankings[s], relaxedAccepts, 5)
+		res.RelaxedPrecision[s] = evalx.MeanPrecision(rankings[s], relaxedAccepts)
+	}
+	return res, nil
+}
+
+// String prints the Fig 5c curves and Fig 5d bars.
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 5c — Top-K accuracy, performance interference (%d variants)\n", r.Opts.Variants)
+	for _, s := range Schemes {
+		fmt.Fprintf(&b, "  %-10s %s\n", s, fmtCurve(r.TopK[s]))
+	}
+	b.WriteString("Fig 5d — precision/recall at K=5 (strict | relaxed)\n")
+	for _, s := range Schemes {
+		fmt.Fprintf(&b, "  %-10s recall %.2f  precision %.2f  | relaxed recall %.2f  relaxed precision %.2f\n",
+			s, r.Recall[s], r.Precision[s], r.RelaxedRecall[s], r.RelaxedPrecision[s])
+	}
+	return b.String()
+}

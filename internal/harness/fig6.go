@@ -1,0 +1,104 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"murphy/internal/evalx"
+	"murphy/internal/microsim"
+	"murphy/internal/telemetry"
+)
+
+// Fig6Options parameterizes the resource-contention experiment (§6.3).
+type Fig6Options struct {
+	// Topo is "social" (Fig 6b) or "hotel" (Fig 6c).
+	Topo string
+	// Scenarios is the number of fault injections (the paper runs >200
+	// across both applications).
+	Scenarios int
+	// Steps is the emulation length per scenario.
+	Steps int
+	// PriorIncidents is the number of short prior faults in the training
+	// window (up to 14 in the paper).
+	PriorIncidents int
+	// Samples / TrainWindow configure Murphy.
+	Samples, TrainWindow int
+	// Ks are the top-K cutoffs of the accuracy curve.
+	Ks []int
+	// Seed drives scenario generation.
+	Seed int64
+}
+
+// DefaultFig6Options returns a fast hotel-topology configuration.
+func DefaultFig6Options() Fig6Options {
+	return Fig6Options{
+		Topo: "hotel", Scenarios: 24, Steps: 300, PriorIncidents: 4,
+		Samples: 400, TrainWindow: 280, Ks: []int{1, 2, 4, 5, 8}, Seed: 1,
+	}
+}
+
+// Fig6Result carries one application's top-K accuracy curves.
+type Fig6Result struct {
+	Opts Fig6Options
+	// TopK[scheme][k] is top-K recall.
+	TopK map[string]map[int]float64
+}
+
+// RunFig6 generates contention scenarios (cycling through CPU, memory, and
+// disk faults) and scores every scheme.
+func RunFig6(opts Fig6Options) (*Fig6Result, error) {
+	if opts.Scenarios <= 0 {
+		return nil, fmt.Errorf("harness: need at least one scenario")
+	}
+	cfg := murphyConfig(opts.Samples, opts.TrainWindow)
+	kinds := []microsim.FaultKind{microsim.FaultCPU, microsim.FaultMem, microsim.FaultDisk}
+	rankings := map[string][][]telemetry.EntityID{}
+	var accepts []map[telemetry.EntityID]bool
+	for v := 0; v < opts.Scenarios; v++ {
+		cOpts := microsim.ContentionOptions{
+			Topo:           opts.Topo,
+			Steps:          opts.Steps,
+			PriorIncidents: opts.PriorIncidents,
+			Kind:           kinds[v%len(kinds)],
+			Intensity:      0.45 + 0.1*float64(v%3),
+			Seed:           opts.Seed + int64(v),
+		}
+		sc, err := microsim.Contention(cOpts)
+		if err != nil {
+			return nil, err
+		}
+		rs, err := schemeRankings(sc, cfg)
+		if err != nil {
+			return nil, err
+		}
+		// Truth: the stressed container; its service counts too (the same
+		// physical fault observed one association away).
+		accepts = append(accepts, evalx.AcceptSet([]telemetry.EntityID{sc.TruthEntity}, sc.Acceptable))
+		for _, s := range Schemes {
+			rankings[s] = append(rankings[s], rs[s])
+		}
+	}
+	res := &Fig6Result{Opts: opts, TopK: map[string]map[int]float64{}}
+	for _, s := range Schemes {
+		curve := map[int]float64{}
+		for _, k := range opts.Ks {
+			curve[k] = evalx.TopKRecall(rankings[s], accepts, k)
+		}
+		res.TopK[s] = curve
+	}
+	return res, nil
+}
+
+// String prints the Fig 6 curve for this application.
+func (r *Fig6Result) String() string {
+	var b strings.Builder
+	label := "6c (hotel-reservation)"
+	if r.Opts.Topo == "social" {
+		label = "6b (social-network)"
+	}
+	fmt.Fprintf(&b, "Fig %s — Top-K accuracy, resource contention (%d scenarios)\n", label, r.Opts.Scenarios)
+	for _, s := range Schemes {
+		fmt.Fprintf(&b, "  %-10s %s\n", s, fmtCurve(r.TopK[s]))
+	}
+	return b.String()
+}

@@ -1,0 +1,268 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"murphy/internal/core"
+	"murphy/internal/enterprise"
+	"murphy/internal/evalx"
+	"murphy/internal/graph"
+	"murphy/internal/microsim"
+	"murphy/internal/telemetry"
+)
+
+// ScalingOptions parameterizes the §6.7 runtime study: training + inference
+// wall time as the relationship graph grows.
+type ScalingOptions struct {
+	// AppCounts are the environment sizes to sweep.
+	AppCounts []int
+	// Steps is the timeline length.
+	Steps int
+	// Samples / TrainWindow configure Murphy.
+	Samples, TrainWindow int
+}
+
+// DefaultScalingOptions returns a small sweep.
+func DefaultScalingOptions() ScalingOptions {
+	return ScalingOptions{AppCounts: []int{2, 4, 8}, Steps: 200, Samples: 200, TrainWindow: 180}
+}
+
+// ScalingPoint is one measured environment size.
+type ScalingPoint struct {
+	Apps       int
+	Entities   int
+	Edges      int
+	TrainTime  time.Duration
+	DiagTime   time.Duration
+	Candidates int
+}
+
+// ScalingResult carries the runtime sweep.
+type ScalingResult struct {
+	Opts   ScalingOptions
+	Points []ScalingPoint
+}
+
+// RunScaling measures Murphy's online-training and inference time across
+// environment sizes (the complexity is O((N+M)T + (N+M)W), §6.7).
+func RunScaling(opts ScalingOptions) (*ScalingResult, error) {
+	res := &ScalingResult{Opts: opts}
+	for _, apps := range opts.AppCounts {
+		gen := enterprise.DefaultGenOptions()
+		gen.Apps = apps
+		if gen.Apps < 7 {
+			// The incident library needs 7 apps; use the crawler-style hook
+			// directly instead for small sizes.
+			gen.Apps = apps
+		}
+		gen.Hosts = 2 + apps
+		gen.Steps = opts.Steps
+		env, err := enterprise.Generate(gen)
+		if err != nil {
+			return nil, err
+		}
+		// A demand surge on app 0 is representative and valid at any size.
+		if err := env.Run(func(e *enterprise.Env, st *enterprise.StepState) {
+			if st.T() >= opts.Steps-opts.Steps/10 {
+				st.ScaleDemand(0, 6)
+			}
+		}); err != nil {
+			return nil, err
+		}
+		db := env.DB
+		symptom := telemetry.Symptom{Entity: env.DBVM(0), Metric: telemetry.MetricCPU, High: true}
+		g, err := graph.Build(db, []telemetry.EntityID{symptom.Entity}, -1)
+		if err != nil {
+			return nil, err
+		}
+		cfg := murphyConfig(opts.Samples, opts.TrainWindow)
+		t0 := time.Now()
+		model, err := core.Train(db, g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		trainTime := time.Since(t0)
+		diag, err := model.Diagnose(symptom)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, ScalingPoint{
+			Apps:       apps,
+			Entities:   g.Len(),
+			Edges:      g.NumEdges(),
+			TrainTime:  trainTime,
+			DiagTime:   diag.Elapsed,
+			Candidates: len(diag.Candidates),
+		})
+	}
+	return res, nil
+}
+
+// String prints the scaling table.
+func (r *ScalingResult) String() string {
+	var b strings.Builder
+	b.WriteString("§6.7 — runtime vs relationship-graph size\n")
+	fmt.Fprintf(&b, "  %6s %9s %7s %12s %12s %11s\n", "apps", "entities", "edges", "train", "diagnose", "candidates")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %6d %9d %7d %12s %12s %11d\n",
+			p.Apps, p.Entities, p.Edges, p.TrainTime.Round(time.Millisecond), p.DiagTime.Round(time.Millisecond), p.Candidates)
+	}
+	return b.String()
+}
+
+// SensitivityOptions parameterizes the §6.8 sweeps over W and ntrain.
+type SensitivityOptions struct {
+	// Scenarios per configuration.
+	Scenarios int
+	// Steps per scenario.
+	Steps int
+	// Samples configures Murphy.
+	Samples int
+	// Ws are the Gibbs-round counts to sweep.
+	Ws []int
+	// NTrains are the training lengths to sweep.
+	NTrains []int
+	// Seed drives scenario generation.
+	Seed int64
+}
+
+// DefaultSensitivityOptions returns the paper's sweep points.
+func DefaultSensitivityOptions() SensitivityOptions {
+	return SensitivityOptions{Scenarios: 8, Steps: 620, Samples: 300, Ws: []int{1, 2, 4, 8}, NTrains: []int{128, 256, 512}, Seed: 1}
+}
+
+// SensitivityResult carries accuracy and time per parameter value.
+type SensitivityResult struct {
+	Opts SensitivityOptions
+	// ByW[w] is (top-5 recall, mean diagnosis time) at w Gibbs rounds.
+	ByW map[int]AccTime
+	// ByNTrain[n] is the same for training lengths.
+	ByNTrain map[int]AccTime
+}
+
+// AccTime pairs an accuracy with a mean wall time.
+type AccTime struct {
+	Recall   float64
+	MeanTime time.Duration
+}
+
+// RunSensitivity sweeps W and ntrain on contention scenarios.
+func RunSensitivity(opts SensitivityOptions) (*SensitivityResult, error) {
+	res := &SensitivityResult{Opts: opts, ByW: map[int]AccTime{}, ByNTrain: map[int]AccTime{}}
+	run := func(w, nTrain int) (AccTime, error) {
+		var rankings [][]telemetry.EntityID
+		var accepts []map[telemetry.EntityID]bool
+		var total time.Duration
+		kinds := []microsim.FaultKind{microsim.FaultCPU, microsim.FaultMem, microsim.FaultDisk}
+		for v := 0; v < opts.Scenarios; v++ {
+			sc, err := microsim.Contention(microsim.ContentionOptions{
+				Topo: "hotel", Steps: opts.Steps, PriorIncidents: 4,
+				Kind: kinds[v%len(kinds)], Intensity: 0.5, Seed: opts.Seed + int64(v),
+			})
+			if err != nil {
+				return AccTime{}, err
+			}
+			db := sc.Result.DB
+			g, err := graph.Build(db, []telemetry.EntityID{sc.Symptom.Entity}, -1)
+			if err != nil {
+				return AccTime{}, err
+			}
+			cfg := murphyConfig(opts.Samples, nTrain)
+			cfg.GibbsRounds = w
+			model, err := core.Train(db, g, cfg)
+			if err != nil {
+				return AccTime{}, err
+			}
+			diag, err := model.Diagnose(sc.Symptom)
+			if err != nil {
+				return AccTime{}, err
+			}
+			total += diag.Elapsed
+			rankings = append(rankings, diag.Ranked())
+			accepts = append(accepts, evalx.AcceptSet([]telemetry.EntityID{sc.TruthEntity}, sc.Acceptable))
+		}
+		return AccTime{
+			Recall:   evalx.TopKRecall(rankings, accepts, 5),
+			MeanTime: total / time.Duration(opts.Scenarios),
+		}, nil
+	}
+	for _, w := range opts.Ws {
+		at, err := run(w, 280)
+		if err != nil {
+			return nil, err
+		}
+		res.ByW[w] = at
+	}
+	for _, n := range opts.NTrains {
+		at, err := run(4, n)
+		if err != nil {
+			return nil, err
+		}
+		res.ByNTrain[n] = at
+	}
+	return res, nil
+}
+
+// String prints the sensitivity tables.
+func (r *SensitivityResult) String() string {
+	var b strings.Builder
+	b.WriteString("§6.8 — sensitivity\n  Gibbs rounds W:\n")
+	for _, w := range r.Opts.Ws {
+		at := r.ByW[w]
+		fmt.Fprintf(&b, "    W=%d  recall %.2f  mean diagnose %s\n", w, at.Recall, at.MeanTime.Round(time.Millisecond))
+	}
+	b.WriteString("  training length:\n")
+	for _, n := range r.Opts.NTrains {
+		at := r.ByNTrain[n]
+		fmt.Fprintf(&b, "    ntrain=%d  recall %.2f  mean diagnose %s\n", n, at.Recall, at.MeanTime.Round(time.Millisecond))
+	}
+	return b.String()
+}
+
+// CycleStatsResult summarizes §2.2's cycle statistics for an incident graph.
+type CycleStatsResult struct {
+	Entities  int
+	Edges     int
+	Cycles2   int
+	Cycles3   int
+	VMsTotal  int
+	VMsCyclic int
+}
+
+// RunCycleStats builds the relationship graph of a representative incident
+// and reports its cycle statistics (§2.2 reports >2000 2-cycles and >4000
+// 3-cycles on average, with every affected VM on at least one cycle).
+func RunCycleStats(gen enterprise.GenOptions) (*CycleStatsResult, error) {
+	env, inc, err := enterprise.RunIncident(gen, enterprise.ByIndex(2))
+	if err != nil {
+		return nil, err
+	}
+	g, err := graph.Build(env.DB, []telemetry.EntityID{inc.Symptom.Entity}, -1)
+	if err != nil {
+		return nil, err
+	}
+	res := &CycleStatsResult{
+		Entities: g.Len(),
+		Edges:    g.NumEdges(),
+		Cycles2:  g.CountCycles2(),
+		Cycles3:  g.CountCycles3(),
+	}
+	for i, id := range g.IDs() {
+		if env.DB.Entity(id).Type != telemetry.TypeVM {
+			continue
+		}
+		res.VMsTotal++
+		if g.InCycle(i) {
+			res.VMsCyclic++
+		}
+	}
+	return res, nil
+}
+
+// String prints the cycle statistics.
+func (r *CycleStatsResult) String() string {
+	return fmt.Sprintf("§2.2 — incident graph: %d entities, %d edges, %d 2-cycles, %d 3-cycles, %d/%d VMs on a cycle\n",
+		r.Entities, r.Edges, r.Cycles2, r.Cycles3, r.VMsCyclic, r.VMsTotal)
+}

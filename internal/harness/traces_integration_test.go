@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"testing"
+
+	"murphy/internal/graph"
+	"murphy/internal/microsim"
+	"murphy/internal/sage"
+	"murphy/internal/telemetry"
+	"murphy/internal/tracing"
+)
+
+// TestSageFromExtractedCallGraph drives the full production path: the
+// emulator emits Jaeger-style traces, the tracing store extracts the call
+// graph, the extracted DAG (plus container→service edges) becomes Sage's
+// causal model, and Sage diagnoses the contention fault — without ever
+// touching the hard-coded topology.
+func TestSageFromExtractedCallGraph(t *testing.T) {
+	sc, err := microsim.Contention(microsim.ContentionOptions{
+		Topo: "hotel", Steps: 240, PriorIncidents: 4,
+		Kind: microsim.FaultCPU, Intensity: 0.6, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := tracing.NewStore(1)
+	if _, err := sc.EmitTraces(store, 2, 3); err != nil {
+		t.Fatal(err)
+	}
+	edges := store.CallGraph()
+	if len(edges) == 0 {
+		t.Fatal("no call edges extracted")
+	}
+
+	// Build the Sage DB: service latency edges callee→caller (a slow callee
+	// slows its caller) plus container→service edges, and the entry→client
+	// edge, exactly as the scenario's hand-built DAG does — but derived
+	// from traces.
+	db := sc.Result.DB
+	dagDB := db.Clone()
+	dagDB.RemoveAllEdges()
+	svcID := func(name string) telemetry.EntityID { return sc.Result.ServiceEntity[name] }
+	ctrID := func(name string) telemetry.EntityID { return sc.Result.ContainerEntity[name] }
+	seen := map[string]bool{}
+	for _, e := range edges {
+		if err := dagDB.Associate(svcID(e.Callee), svcID(e.Caller), telemetry.Directed); err != nil {
+			t.Fatal(err)
+		}
+		seen[e.Caller], seen[e.Callee] = true, true
+	}
+	for name := range seen {
+		if err := dagDB.Associate(ctrID(name), svcID(name), telemetry.Directed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entry := "frontend"
+	if err := dagDB.Associate(svcID(entry), sc.Result.ClientEntity["client"], telemetry.Directed); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := graph.Build(dagDB, []telemetry.EntityID{sc.Symptom.Entity}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsDAG() {
+		t.Fatal("extracted call graph must be acyclic")
+	}
+	sCfg := sage.DefaultConfig()
+	sCfg.Window = 220
+	m, err := sage.Train(dagDB, g, sCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var candidates []telemetry.EntityID
+	for _, id := range g.IDs() {
+		candidates = append(candidates, id)
+	}
+	ranked, err := m.Diagnose(sc.Symptom, candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := false
+	for i, r := range ranked {
+		if i >= 5 {
+			break
+		}
+		if r.Entity == sc.TruthEntity || (len(sc.Acceptable) > 0 && r.Entity == sc.Acceptable[0]) {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("Sage over the trace-extracted DAG should find the fault; got %v", sage.RankedIDs(ranked))
+	}
+}

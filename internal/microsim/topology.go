@@ -1,0 +1,186 @@
+// Package microsim emulates the DeathStarBench microservice testbeds of
+// §5.1.2: the hotel-reservation and social-network applications, an
+// open-loop wrk2-like request generator, container resource accounting on
+// shared nodes with M/M/1-style latency inflation under load, stress-ng-like
+// resource-contention fault injection, and the performance-interference
+// scenario of Fig 5a. The emulation writes ordinary telemetry (container
+// CPU/mem/disk/net and per-service latency/RPS at 10 s grain) into a
+// telemetry.DB, so every diagnosis scheme consumes it exactly as it would
+// consume cAdvisor + Jaeger data.
+package microsim
+
+import "fmt"
+
+// ServiceDef declares one microservice of an application topology.
+type ServiceDef struct {
+	// Name is the service name (also used to derive entity IDs).
+	Name string
+	// Children are the services this service calls per request.
+	Children []string
+	// CostCPU is CPU-seconds consumed per request.
+	CostCPU float64
+	// BaseLatencyMS is the service's uncontended processing latency.
+	BaseLatencyMS float64
+	// Node is the worker node the service's container is placed on.
+	Node string
+}
+
+// Topology is a whole application: services, their call DAG, and nodes.
+type Topology struct {
+	// App is the application name used for entity tagging.
+	App string
+	// Services maps name to definition.
+	Services map[string]*ServiceDef
+	// Entrypoints are the user-facing services clients can hit.
+	Entrypoints []string
+	// Nodes lists worker-node names with their CPU capacity
+	// (CPU-seconds per second, i.e. cores).
+	Nodes map[string]float64
+	// order is a deterministic service iteration order.
+	order []string
+}
+
+// ServiceNames returns the services in deterministic declaration order.
+func (tp *Topology) ServiceNames() []string { return tp.order }
+
+// Validate checks referential integrity and acyclicity of the call graph.
+func (tp *Topology) Validate() error {
+	if tp.App == "" {
+		return fmt.Errorf("microsim: topology needs an app name")
+	}
+	if len(tp.Services) == 0 {
+		return fmt.Errorf("microsim: topology has no services")
+	}
+	for name, s := range tp.Services {
+		if s.Name != name {
+			return fmt.Errorf("microsim: service map key %q != name %q", name, s.Name)
+		}
+		if _, ok := tp.Nodes[s.Node]; !ok {
+			return fmt.Errorf("microsim: service %q placed on unknown node %q", name, s.Node)
+		}
+		for _, c := range s.Children {
+			if _, ok := tp.Services[c]; !ok {
+				return fmt.Errorf("microsim: service %q calls unknown service %q", name, c)
+			}
+		}
+	}
+	for _, e := range tp.Entrypoints {
+		if _, ok := tp.Services[e]; !ok {
+			return fmt.Errorf("microsim: entrypoint %q unknown", e)
+		}
+	}
+	// Cycle check by DFS colors.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[string]int, len(tp.Services))
+	var dfs func(string) error
+	dfs = func(u string) error {
+		color[u] = gray
+		for _, v := range tp.Services[u].Children {
+			switch color[v] {
+			case gray:
+				return fmt.Errorf("microsim: call graph cycle through %q", v)
+			case white:
+				if err := dfs(v); err != nil {
+					return err
+				}
+			}
+		}
+		color[u] = black
+		return nil
+	}
+	for name := range tp.Services {
+		if color[name] == white {
+			if err := dfs(name); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func newTopology(app string, nodes map[string]float64, defs []*ServiceDef, entry ...string) *Topology {
+	tp := &Topology{App: app, Services: make(map[string]*ServiceDef, len(defs)), Nodes: nodes, Entrypoints: entry}
+	for _, d := range defs {
+		tp.Services[d.Name] = d
+		tp.order = append(tp.order, d.Name)
+	}
+	return tp
+}
+
+// HotelReservation returns the hotel-reservation topology: 8 services on a
+// 7-node cluster (as deployed on AWS in the paper), 16 relationship-graph
+// entities once services and containers are both counted.
+func HotelReservation() *Topology {
+	nodes := map[string]float64{
+		"node-0": 4, "node-1": 4, "node-2": 4, "node-3": 4,
+		"node-4": 4, "node-5": 4, "node-6": 4,
+	}
+	defs := []*ServiceDef{
+		{Name: "frontend", Children: []string{"search", "recommendation", "user", "reservation"}, CostCPU: 0.002, BaseLatencyMS: 2, Node: "node-0"},
+		{Name: "search", Children: []string{"geo", "rate"}, CostCPU: 0.004, BaseLatencyMS: 3, Node: "node-1"},
+		{Name: "recommendation", Children: []string{"profile"}, CostCPU: 0.003, BaseLatencyMS: 2, Node: "node-2"},
+		{Name: "user", Children: nil, CostCPU: 0.002, BaseLatencyMS: 1, Node: "node-3"},
+		{Name: "reservation", Children: []string{"profile"}, CostCPU: 0.004, BaseLatencyMS: 3, Node: "node-4"},
+		{Name: "geo", Children: nil, CostCPU: 0.003, BaseLatencyMS: 2, Node: "node-5"},
+		{Name: "rate", Children: nil, CostCPU: 0.003, BaseLatencyMS: 2, Node: "node-6"},
+		{Name: "profile", Children: nil, CostCPU: 0.003, BaseLatencyMS: 2, Node: "node-5"},
+	}
+	return newTopology("hotel-reservation", nodes, defs, "frontend")
+}
+
+// SocialNetwork returns the social-network topology: 24 services co-located
+// on a single 8-core node (the paper's single-node Docker deployment), 57
+// relationship-graph entities once services, containers, the node, and the
+// client-facing flows are counted.
+func SocialNetwork() *Topology {
+	nodes := map[string]float64{"node-0": 8}
+	mk := func(name string, cost, lat float64, children ...string) *ServiceDef {
+		return &ServiceDef{Name: name, Children: children, CostCPU: cost, BaseLatencyMS: lat, Node: "node-0"}
+	}
+	defs := []*ServiceDef{
+		mk("nginx-web-server", 0.001, 1, "compose-post", "home-timeline", "user-timeline", "user-service"),
+		mk("compose-post", 0.003, 2, "text-service", "media-service", "unique-id", "user-mention", "post-storage", "write-home-timeline"),
+		mk("home-timeline", 0.002, 2, "post-storage", "social-graph"),
+		mk("user-timeline", 0.002, 2, "post-storage", "user-timeline-db"),
+		mk("user-service", 0.002, 1, "user-db", "user-cache"),
+		mk("text-service", 0.002, 1, "url-shorten", "user-mention"),
+		mk("media-service", 0.003, 2, "media-db"),
+		mk("unique-id", 0.001, 1),
+		mk("user-mention", 0.001, 1, "user-db"),
+		mk("post-storage", 0.003, 2, "post-db", "post-cache"),
+		mk("write-home-timeline", 0.002, 2, "home-timeline-db", "social-graph"),
+		mk("social-graph", 0.002, 2, "social-graph-db", "social-graph-cache"),
+		mk("url-shorten", 0.001, 1, "url-db"),
+		mk("user-db", 0.004, 3),
+		mk("user-cache", 0.001, 1),
+		mk("post-db", 0.004, 3),
+		mk("post-cache", 0.001, 1),
+		mk("media-db", 0.004, 3),
+		mk("user-timeline-db", 0.004, 3),
+		mk("home-timeline-db", 0.004, 3),
+		mk("social-graph-db", 0.004, 3),
+		mk("social-graph-cache", 0.001, 1),
+		mk("url-db", 0.003, 2),
+		mk("media-frontend", 0.002, 1, "media-service"),
+	}
+	return newTopology("social-network", nodes, defs, "nginx-web-server", "media-frontend")
+}
+
+// callMultipliers returns, for one entrypoint, how many calls each service
+// receives per entrypoint request (following the call DAG).
+func (tp *Topology) callMultipliers(entry string) map[string]float64 {
+	mult := make(map[string]float64, len(tp.Services))
+	var walk func(name string, m float64)
+	walk = func(name string, m float64) {
+		mult[name] += m
+		for _, c := range tp.Services[name].Children {
+			walk(c, m)
+		}
+	}
+	walk(entry, 1)
+	return mult
+}

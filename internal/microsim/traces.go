@@ -1,0 +1,78 @@
+package microsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"murphy/internal/telemetry"
+	"murphy/internal/tracing"
+)
+
+// EmitTraces synthesizes Jaeger-style request traces from an emulation
+// result: for each time slice and workload, it samples a few requests,
+// builds the span tree following the call graph, and sizes span durations
+// from the recorded per-service latencies of that slice (the end-to-end
+// latency of a span covers its own processing plus its children, matching
+// how the emulator composes latency). tracesPerSlice bounds the emitted
+// volume before sampling; the store's sampler then thins further.
+func (s *Sim) EmitTraces(res *Result, store *tracing.Store, tracesPerSlice int, seed int64) (int, error) {
+	if tracesPerSlice <= 0 {
+		return 0, fmt.Errorf("microsim: tracesPerSlice must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	db := res.DB
+	latAt := func(svc string, slice int) float64 {
+		v := db.At(res.ServiceEntity[svc], telemetry.MetricLatency, slice)
+		if v != v || v < 0 {
+			return 0
+		}
+		return v
+	}
+	emitted := 0
+	for slice := 0; slice < db.Len(); slice++ {
+		for _, w := range s.Workloads {
+			for r := 0; r < tracesPerSlice; r++ {
+				tr := &tracing.Trace{Slice: slice}
+				var next tracing.SpanID
+				var build func(svc string, parent tracing.SpanID, start int64) int64
+				build = func(svc string, parent tracing.SpanID, start int64) int64 {
+					id := next
+					next++
+					// Reserve the slot; duration is filled after children.
+					tr.Spans = append(tr.Spans, tracing.Span{
+						ID: id, Parent: parent, Service: svc, StartUS: start,
+					})
+					slot := len(tr.Spans) - 1
+					total := latAt(svc, slice) * 1000 // ms → µs (e2e incl. children)
+					jitter := 1 + rng.NormFloat64()*0.05
+					if jitter < 0.5 {
+						jitter = 0.5
+					}
+					dur := int64(total * jitter)
+					if dur < 1 {
+						dur = 1
+					}
+					// Children execute sequentially inside the parent.
+					childStart := start
+					for _, c := range s.Topo.Services[svc].Children {
+						childStart += build(c, id, childStart)
+					}
+					if used := childStart - start; dur < used {
+						dur = used
+					}
+					tr.Spans[slot].DurationUS = dur
+					return dur
+				}
+				build(w.Entry, -1, 0)
+				ok, err := store.Collect(tr)
+				if err != nil {
+					return emitted, err
+				}
+				if ok {
+					emitted++
+				}
+			}
+		}
+	}
+	return emitted, nil
+}

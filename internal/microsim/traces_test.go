@@ -1,0 +1,118 @@
+package microsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"murphy/internal/tracing"
+)
+
+func emittedStore(t *testing.T, rate float64) (*Sim, *Result, *tracing.Store, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(4))
+	sim := &Sim{
+		Topo:      HotelReservation(),
+		Steps:     30,
+		Workloads: []*Workload{{Name: "c", Entry: "frontend", RPS: ConstantRPS(100, 2, rng)}},
+		Seed:      4,
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := tracing.NewStore(rate)
+	n, err := sim.EmitTraces(res, store, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim, res, store, n
+}
+
+func TestEmitTracesStructure(t *testing.T) {
+	sim, _, store, n := emittedStore(t, 1)
+	if n != 30*3 {
+		t.Fatalf("emitted = %d, want 90", n)
+	}
+	if store.Len() != n {
+		t.Fatal("all traces should be sampled at rate 1")
+	}
+	for _, tr := range store.Traces() {
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if tr.RootService() != "frontend" {
+			t.Fatalf("root service = %s", tr.RootService())
+		}
+		// One span per service reached through the call tree per call.
+		if len(tr.Spans) != 9 { // frontend + search,recommendation,user,reservation + geo,rate,profile(x2)
+			t.Fatalf("span count = %d", len(tr.Spans))
+		}
+	}
+	_ = sim
+}
+
+func TestEmitTracesCallGraphMatchesTopology(t *testing.T) {
+	sim, _, store, _ := emittedStore(t, 1)
+	edges := store.CallGraph()
+	want := map[[2]string]bool{}
+	for name, def := range sim.Topo.Services {
+		for _, c := range def.Children {
+			want[[2]string{name, c}] = true
+		}
+	}
+	// Only edges reachable from the entry appear.
+	for _, e := range edges {
+		if !want[[2]string{e.Caller, e.Callee}] {
+			t.Fatalf("extracted edge %v not in topology", e)
+		}
+	}
+	// All edges in frontend's call tree must appear.
+	mult := sim.Topo.callMultipliers("frontend")
+	for pair := range want {
+		if mult[pair[0]] > 0 {
+			found := false
+			for _, e := range edges {
+				if e.Caller == pair[0] && e.Callee == pair[1] {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("edge %v missing from extraction", pair)
+			}
+		}
+	}
+}
+
+func TestEmitTracesLatencyMatchesTelemetry(t *testing.T) {
+	_, res, store, _ := emittedStore(t, 1)
+	// The root span duration should track the recorded frontend latency.
+	recorded := res.ServiceLatency("frontend")
+	traced := store.ServiceLatency("frontend", 30)
+	for slice := 5; slice < 10; slice++ {
+		if math.IsNaN(traced[slice]) {
+			t.Fatal("traced latency missing")
+		}
+		rel := math.Abs(traced[slice]-recorded[slice]) / recorded[slice]
+		if rel > 0.25 {
+			t.Fatalf("slice %d: traced %v vs recorded %v", slice, traced[slice], recorded[slice])
+		}
+	}
+}
+
+func TestEmitTracesSampling(t *testing.T) {
+	_, _, store, n := emittedStore(t, 0.3)
+	if n == 0 || n >= 90 {
+		t.Fatalf("sampled count = %d, want strictly between 0 and 90", n)
+	}
+	if store.Dropped()+store.Len() != 90 {
+		t.Fatal("dropped+kept should cover all offers")
+	}
+}
+
+func TestEmitTracesErrors(t *testing.T) {
+	sim, res, _, _ := emittedStore(t, 1)
+	if _, err := sim.EmitTraces(res, tracing.NewStore(1), 0, 1); err == nil {
+		t.Fatal("zero tracesPerSlice should error")
+	}
+}

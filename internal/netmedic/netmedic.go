@@ -1,0 +1,228 @@
+// Package netmedic implements the NetMedic baseline (Kandula et al.,
+// SIGCOMM 2009) at the granularity the paper compares against: a dependency
+// graph whose edges carry weights derived from pairwise correlation of
+// neighbor metric histories, a heuristic down-weighting of edges whose
+// destination currently looks normal, path scores computed as geometric
+// means of edge weights, and a final ranking that multiplies the best path
+// score to the affected entity by the candidate's global downstream impact.
+// These fixed heuristics — rather than a learned model — are what make the
+// scheme brittle in the paper's environments (§2.3).
+package netmedic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"murphy/internal/graph"
+	"murphy/internal/stats"
+	"murphy/internal/telemetry"
+)
+
+// Config holds NetMedic's tunables.
+type Config struct {
+	// Window is the history window (slices) for edge-weight correlations.
+	Window int
+	// MaxPathLen bounds the path search (paths longer than this contribute
+	// nothing; keeps the geometric-mean DP tractable).
+	MaxPathLen int
+	// NormalDamp scales edge weights out of sources whose current state is
+	// within NormalZ of history (the "ignore normal influence" rule: an
+	// entity in a normal state is unlikely to be impacting its neighbors).
+	NormalDamp float64
+	// NormalZ is the z-score below which an entity counts as normal.
+	NormalZ float64
+	// MinScore drops candidates scoring below it (recall calibration).
+	MinScore float64
+}
+
+// DefaultConfig returns the configuration used in the evaluation.
+func DefaultConfig() Config {
+	return Config{Window: 300, MaxPathLen: 6, NormalDamp: 0.1, NormalZ: 1.0, MinScore: 0}
+}
+
+// Ranked is one scored candidate.
+type Ranked struct {
+	Entity telemetry.EntityID
+	Score  float64
+}
+
+// Diagnose ranks candidate root causes for the symptom.
+func Diagnose(db *telemetry.DB, g *graph.Graph, symptom telemetry.Symptom, candidates []telemetry.EntityID, cfg Config) ([]Ranked, error) {
+	if cfg.Window <= 2 {
+		cfg.Window = DefaultConfig().Window
+	}
+	if cfg.MaxPathLen <= 0 {
+		cfg.MaxPathLen = DefaultConfig().MaxPathLen
+	}
+	si, ok := g.Index(symptom.Entity)
+	if !ok {
+		return nil, fmt.Errorf("netmedic: symptom entity %q not in graph", symptom.Entity)
+	}
+	hi := db.Len()
+	lo := hi - cfg.Window
+	if lo < 0 {
+		lo = 0
+	}
+	n := g.Len()
+
+	// Abnormality of each entity: max |z| of current metrics vs window.
+	abn := make([]float64, n)
+	for i, id := range g.IDs() {
+		abn[i] = abnormality(db, id, lo, hi)
+	}
+
+	// Edge weights: strongest |corr| between any metric pair across the
+	// edge, damped when the destination looks normal now.
+	weights := make([]map[int]float64, n)
+	for u := 0; u < n; u++ {
+		weights[u] = make(map[int]float64, len(g.Out(u)))
+		for _, v := range g.Out(u) {
+			w := edgeWeight(db, g.ID(u), g.ID(v), lo, hi)
+			if abn[u] < cfg.NormalZ {
+				w *= cfg.NormalDamp
+			}
+			weights[u][v] = w
+		}
+	}
+
+	// best[v] = max over paths u..v (length <= MaxPathLen) of the geometric
+	// mean of edge weights, computed per candidate u by DP over path length.
+	var out []Ranked
+	seen := make(map[telemetry.EntityID]bool, len(candidates))
+	for _, cand := range candidates {
+		ci, ok := g.Index(cand)
+		if !ok || seen[cand] {
+			continue
+		}
+		seen[cand] = true
+		pathScore := 1.0 // self: the symptomatic entity explains itself
+		if ci != si {
+			pathScore = bestGeoMeanPath(weights, ci, si, cfg.MaxPathLen)
+		}
+		if pathScore == 0 {
+			continue
+		}
+		impact := globalImpact(weights, abn, ci, cfg)
+		score := pathScore * impact * (1 + abn[ci])
+		if score >= cfg.MinScore {
+			out = append(out, Ranked{Entity: cand, Score: score})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Entity < out[j].Entity
+	})
+	return out, nil
+}
+
+// abnormality is the max |z| of an entity's current metrics vs history.
+func abnormality(db *telemetry.DB, id telemetry.EntityID, lo, hi int) float64 {
+	best := 0.0
+	for _, metric := range db.MetricNames(id) {
+		w := db.Window(id, metric, lo, hi)
+		if len(w) < 3 {
+			continue
+		}
+		cur := w[len(w)-1]
+		z := math.Abs(stats.ZScore(cur, w[:len(w)-1]))
+		if math.IsInf(z, 0) {
+			z = 0 // constant history: treat as uninformative, like NetMedic's state templates
+		}
+		if z > best {
+			best = z
+		}
+	}
+	return best
+}
+
+// edgeWeight is the strongest absolute correlation between any metric of the
+// source and any metric of the destination over the window.
+func edgeWeight(db *telemetry.DB, src, dst telemetry.EntityID, lo, hi int) float64 {
+	best := 0.0
+	srcMetrics := db.MetricNames(src)
+	dstMetrics := db.MetricNames(dst)
+	for _, sm := range srcMetrics {
+		sw := db.Window(src, sm, lo, hi)
+		for _, dm := range dstMetrics {
+			r := stats.AbsPearson(sw, db.Window(dst, dm, lo, hi))
+			if r > best {
+				best = r
+			}
+		}
+	}
+	return best
+}
+
+// bestGeoMeanPath returns the maximum geometric mean of edge weights over
+// directed paths from src to dst of length 1..maxLen, via DP on (node, path
+// length) over log-weights.
+func bestGeoMeanPath(weights []map[int]float64, src, dst, maxLen int) float64 {
+	n := len(weights)
+	const negInf = math.MaxFloat64
+	// dp[v] = best sum of log-weights over paths src..v with exactly k edges.
+	dp := make([]float64, n)
+	next := make([]float64, n)
+	for i := range dp {
+		dp[i] = -negInf
+	}
+	dp[src] = 0
+	best := 0.0
+	for k := 1; k <= maxLen; k++ {
+		for i := range next {
+			next[i] = -negInf
+		}
+		for u := 0; u < n; u++ {
+			if dp[u] == -negInf {
+				continue
+			}
+			for v, w := range weights[u] {
+				if w <= 0 {
+					continue
+				}
+				s := dp[u] + math.Log(w)
+				if s > next[v] {
+					next[v] = s
+				}
+			}
+		}
+		dp, next = next, dp
+		if dp[dst] != -negInf {
+			if gm := math.Exp(dp[dst] / float64(k)); gm > best {
+				best = gm
+			}
+		}
+	}
+	return best
+}
+
+// globalImpact measures how much of the abnormal population the candidate
+// plausibly influences: the abnormality-weighted mean of its best path
+// scores to every abnormal entity.
+func globalImpact(weights []map[int]float64, abn []float64, cand int, cfg Config) float64 {
+	totalAbn, reached := 0.0, 0.0
+	for v := range abn {
+		if v == cand || abn[v] < cfg.NormalZ {
+			continue
+		}
+		totalAbn += abn[v]
+		if p := bestGeoMeanPath(weights, cand, v, cfg.MaxPathLen); p > 0 {
+			reached += abn[v] * p
+		}
+	}
+	if totalAbn == 0 {
+		return 1
+	}
+	return reached / totalAbn
+}
+
+// RankedIDs extracts the ordered entity IDs from a ranking.
+func RankedIDs(rs []Ranked) []telemetry.EntityID {
+	out := make([]telemetry.EntityID, len(rs))
+	for i, r := range rs {
+		out[i] = r.Entity
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package netmedic
+
+import (
+	"math/rand"
+	"testing"
+
+	"murphy/internal/graph"
+	"murphy/internal/telemetry"
+)
+
+// incidentDB builds a small dependency structure: cause -> mid -> sym, with a
+// bystander attached to sym that stays normal.
+func incidentDB(t *testing.T) (*telemetry.DB, *graph.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(12))
+	db := telemetry.NewDB(600)
+	for _, id := range []telemetry.EntityID{"cause", "mid", "sym", "bystander"} {
+		if err := db.AddEntity(&telemetry.Entity{ID: id, Type: telemetry.TypeVM, Name: string(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range [][2]telemetry.EntityID{{"cause", "mid"}, {"mid", "sym"}, {"bystander", "sym"}} {
+		if err := db.Associate(p[0], p[1], telemetry.Bidirectional); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 150
+	for tt := 0; tt < total; tt++ {
+		spike := 0.0
+		if tt >= total-5 {
+			spike = 60
+		}
+		cv := 10 + spike + rng.NormFloat64()
+		mv := cv*0.8 + rng.NormFloat64()
+		sv := mv*1.1 + rng.NormFloat64()
+		bv := 25 + rng.NormFloat64()
+		for _, o := range []struct {
+			id telemetry.EntityID
+			v  float64
+		}{{"cause", cv}, {"mid", mv}, {"sym", sv}, {"bystander", bv}} {
+			if err := db.Observe(o.id, telemetry.MetricCPU, tt, o.v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g, err := graph.Build(db, []telemetry.EntityID{"sym"}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, g
+}
+
+func TestDiagnoseRanksUpstreamCause(t *testing.T) {
+	db, g := incidentDB(t)
+	sym := telemetry.Symptom{Entity: "sym", Metric: telemetry.MetricCPU, High: true}
+	got, err := Diagnose(db, g, sym, []telemetry.EntityID{"cause", "mid", "bystander"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no candidates ranked")
+	}
+	// The correlated chain members must outrank the uncorrelated bystander.
+	pos := map[telemetry.EntityID]int{}
+	for i, r := range got {
+		pos[r.Entity] = i
+	}
+	bys, ok := pos["bystander"]
+	if ok {
+		if c, ok2 := pos["cause"]; ok2 && c > bys {
+			t.Fatalf("cause ranked below bystander: %v", RankedIDs(got))
+		}
+	}
+	if got[0].Entity != "cause" && got[0].Entity != "mid" {
+		t.Fatalf("top candidate should be on the causal chain, got %v", RankedIDs(got))
+	}
+}
+
+func TestDiagnoseErrors(t *testing.T) {
+	db, g := incidentDB(t)
+	sym := telemetry.Symptom{Entity: "ghost", Metric: telemetry.MetricCPU, High: true}
+	if _, err := Diagnose(db, g, sym, nil, DefaultConfig()); err == nil {
+		t.Fatal("unknown symptom entity should error")
+	}
+}
+
+func TestNormalDampReducesScores(t *testing.T) {
+	db, g := incidentDB(t)
+	sym := telemetry.Symptom{Entity: "sym", Metric: telemetry.MetricCPU, High: true}
+	noDamp := DefaultConfig()
+	noDamp.NormalDamp = 1.0
+	noDamp.NormalZ = 3.0 // the bystander's routine noise stays below this
+	damped := DefaultConfig()
+	damped.NormalDamp = 0.01
+	damped.NormalZ = 3.0
+	a, err := Diagnose(db, g, sym, []telemetry.EntityID{"bystander"}, noDamp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Diagnose(db, g, sym, []telemetry.EntityID{"bystander"}, damped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) > 0 && len(b) > 0 && b[0].Score >= a[0].Score {
+		t.Fatalf("damping should reduce the bystander's score: %v vs %v", b[0].Score, a[0].Score)
+	}
+}
+
+func TestMinScoreCutoff(t *testing.T) {
+	db, g := incidentDB(t)
+	sym := telemetry.Symptom{Entity: "sym", Metric: telemetry.MetricCPU, High: true}
+	cfg := DefaultConfig()
+	cfg.MinScore = 1e9 // nothing can reach this
+	got, err := Diagnose(db, g, sym, []telemetry.EntityID{"cause", "mid"}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("min score should cut everything, got %v", RankedIDs(got))
+	}
+}
+
+func TestDefaultsAppliedForZeroConfig(t *testing.T) {
+	db, g := incidentDB(t)
+	sym := telemetry.Symptom{Entity: "sym", Metric: telemetry.MetricCPU, High: true}
+	got, err := Diagnose(db, g, sym, []telemetry.EntityID{"cause"}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("zero config should still work, got %v", got)
+	}
+}
+
+func TestBestGeoMeanPathDirect(t *testing.T) {
+	// Two nodes, single edge of weight 0.5: geometric mean of 1-edge path.
+	weights := []map[int]float64{{1: 0.5}, {}}
+	if got := bestGeoMeanPath(weights, 0, 1, 3); got != 0.5 {
+		t.Fatalf("single edge geo mean = %v", got)
+	}
+	// Longer better-weighted path should win: 0->1 weight 0.1 vs 0->2->1
+	// weights 0.9, 0.9 (geo mean 0.9).
+	weights = []map[int]float64{{1: 0.1, 2: 0.9}, {}, {1: 0.9}}
+	got := bestGeoMeanPath(weights, 0, 1, 3)
+	if got < 0.89 || got > 0.91 {
+		t.Fatalf("best geo mean = %v, want ~0.9", got)
+	}
+	// Unreachable.
+	if bestGeoMeanPath([]map[int]float64{{}, {}}, 0, 1, 4) != 0 {
+		t.Fatal("unreachable should be 0")
+	}
+}
+
+func TestCandidateMissingFromGraphIgnored(t *testing.T) {
+	db, g := incidentDB(t)
+	sym := telemetry.Symptom{Entity: "sym", Metric: telemetry.MetricCPU, High: true}
+	got, err := Diagnose(db, g, sym, []telemetry.EntityID{"not-in-graph"}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("unknown candidate should be ignored")
+	}
+}

@@ -1,0 +1,182 @@
+package sage
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"murphy/internal/graph"
+	"murphy/internal/telemetry"
+)
+
+// dagDB builds a call-graph DAG: faulty -> mid -> front (edges point from
+// cause to effect: a fault in a downstream service raises latency upstream).
+// A healthy sibling also feeds front.
+func dagDB(t *testing.T) (*telemetry.DB, *graph.Graph) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	db := telemetry.NewDB(10)
+	for _, id := range []telemetry.EntityID{"faulty", "sibling", "mid", "front"} {
+		if err := db.AddEntity(&telemetry.Entity{ID: id, Type: telemetry.TypeService, Name: string(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range [][2]telemetry.EntityID{{"faulty", "mid"}, {"mid", "front"}, {"sibling", "front"}} {
+		if err := db.Associate(p[0], p[1], telemetry.Directed); err != nil {
+			t.Fatal(err)
+		}
+	}
+	total := 150
+	for tt := 0; tt < total; tt++ {
+		stress := 0.0
+		if tt >= total-6 {
+			stress = 0.6 // injected contention on "faulty"
+		}
+		fCPU := 0.2 + stress + rng.NormFloat64()*0.02
+		fLat := 5 + 40*fCPU + rng.NormFloat64()*0.5
+		sLat := 4 + rng.NormFloat64()*0.3
+		mLat := 3 + 0.9*fLat + rng.NormFloat64()*0.5
+		frLat := 2 + 0.8*mLat + 0.3*sLat + rng.NormFloat64()*0.5
+		obs := func(id telemetry.EntityID, m string, v float64) {
+			t.Helper()
+			if err := db.Observe(id, m, tt, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		obs("faulty", telemetry.MetricCPU, fCPU)
+		obs("faulty", telemetry.MetricLatency, fLat)
+		obs("sibling", telemetry.MetricLatency, sLat)
+		obs("mid", telemetry.MetricLatency, mLat)
+		obs("front", telemetry.MetricLatency, frLat)
+	}
+	g, err := graph.Build(db, []telemetry.EntityID{"faulty", "sibling"}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, g
+}
+
+func TestTrainRejectsCycles(t *testing.T) {
+	db := telemetry.NewDB(10)
+	for _, id := range []telemetry.EntityID{"a", "b"} {
+		if err := db.AddEntity(&telemetry.Entity{ID: id, Type: telemetry.TypeService, Name: string(id)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Associate("a", "b", telemetry.Bidirectional); err != nil {
+		t.Fatal(err)
+	}
+	for tt := 0; tt < 20; tt++ {
+		if err := db.Observe("a", telemetry.MetricLatency, tt, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, _ := graph.Build(db, []telemetry.EntityID{"a"}, -1)
+	if _, err := Train(db, g, DefaultConfig()); !errors.Is(err, ErrCyclic) {
+		t.Fatalf("cyclic input must return ErrCyclic, got %v", err)
+	}
+}
+
+func TestDiagnoseFindsFaultyService(t *testing.T) {
+	db, g := dagDB(t)
+	m, err := Train(db, g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := telemetry.Symptom{Entity: "front", Metric: telemetry.MetricLatency, High: true}
+	got, err := m.Diagnose(sym, []telemetry.EntityID{"faulty", "sibling", "mid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no root causes")
+	}
+	if got[0].Entity != "faulty" && got[0].Entity != "mid" {
+		t.Fatalf("top cause should be on the faulty chain, got %v", RankedIDs(got))
+	}
+	for _, r := range got {
+		if r.Entity == "sibling" && r.Improvement > got[0].Improvement/2 {
+			t.Fatalf("healthy sibling scored too high: %+v", got)
+		}
+	}
+}
+
+func TestDiagnoseCannotSeeOutsideDAG(t *testing.T) {
+	db, g := dagDB(t)
+	m, err := Train(db, g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := telemetry.Symptom{Entity: "front", Metric: telemetry.MetricLatency, High: true}
+	// The true root cause of the interference scenario lives outside the
+	// DAG; Sage must silently drop it.
+	got, err := m.Diagnose(sym, []telemetry.EntityID{"external-client"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("outside-DAG candidate must be unscorable, got %v", RankedIDs(got))
+	}
+}
+
+func TestDiagnoseErrors(t *testing.T) {
+	db, g := dagDB(t)
+	m, err := Train(db, g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Diagnose(telemetry.Symptom{Entity: "ghost", Metric: telemetry.MetricLatency}, nil); err == nil {
+		t.Fatal("unknown symptom entity should error")
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	db := telemetry.NewDB(10)
+	if err := db.AddEntity(&telemetry.Entity{ID: "a", Type: telemetry.TypeService, Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Observe("a", telemetry.MetricLatency, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := graph.Build(db, []telemetry.EntityID{"a"}, -1)
+	if _, err := Train(db, g, DefaultConfig()); err == nil {
+		t.Fatal("too-short telemetry should error")
+	}
+}
+
+func TestMinImprovementCutoff(t *testing.T) {
+	db, g := dagDB(t)
+	cfg := DefaultConfig()
+	cfg.MinImprovement = 1e9
+	m, err := Train(db, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym := telemetry.Symptom{Entity: "front", Metric: telemetry.MetricLatency, High: true}
+	got, err := m.Diagnose(sym, []telemetry.EntityID{"faulty"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("improvement cutoff should drop everything")
+	}
+}
+
+func TestTopoOrderRespectsEdges(t *testing.T) {
+	db, g := dagDB(t)
+	m, err := Train(db, g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := make(map[int]int, len(m.topo))
+	for i, n := range m.topo {
+		pos[n] = i
+	}
+	for u := 0; u < g.Len(); u++ {
+		for _, v := range g.Out(u) {
+			if pos[u] > pos[v] {
+				t.Fatal("topological order violates an edge")
+			}
+		}
+	}
+}

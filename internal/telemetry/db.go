@@ -1,0 +1,435 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"murphy/internal/timeseries"
+)
+
+// AssocKind distinguishes the directionality knowledge attached to an
+// association. Most platform metadata gives only a loose neighborhood
+// relation (both directions possible); a known caller→callee edge can be
+// recorded as directed (§4.1).
+type AssocKind int
+
+const (
+	// Bidirectional adds potential-influence edges in both directions.
+	Bidirectional AssocKind = iota
+	// Directed adds a single influence edge from the first entity to the
+	// second.
+	Directed
+)
+
+// edge is one directed potential-influence edge u → v ("u may influence v").
+type edge struct {
+	from, to EntityID
+}
+
+// DB is the in-memory monitoring database. It stores entities, their
+// metric time series on a shared slice grid, and metadata associations.
+// It is not safe for concurrent mutation; build it once, then share it
+// read-only across diagnosis runs.
+type DB struct {
+	// IntervalSeconds is the width of a time slice (600 s in the enterprise
+	// environment, 10 s in the microservice emulation).
+	IntervalSeconds int
+
+	entities map[EntityID]*Entity
+	order    []EntityID // insertion order for deterministic iteration
+	series   map[EntityID]map[string]*timeseries.Series
+	out      map[EntityID]map[EntityID]bool // directed influence edges
+	in       map[EntityID]map[EntityID]bool
+	apps     map[string][]EntityID
+	length   int // number of time slices present
+	events   []Event
+}
+
+// NewDB returns an empty monitoring database with the given slice interval.
+func NewDB(intervalSeconds int) *DB {
+	return &DB{
+		IntervalSeconds: intervalSeconds,
+		entities:        make(map[EntityID]*Entity),
+		series:          make(map[EntityID]map[string]*timeseries.Series),
+		out:             make(map[EntityID]map[EntityID]bool),
+		in:              make(map[EntityID]map[EntityID]bool),
+		apps:            make(map[string][]EntityID),
+	}
+}
+
+// AddEntity registers an entity. It returns an error on duplicate IDs.
+func (db *DB) AddEntity(e *Entity) error {
+	if e == nil || e.ID == "" {
+		return fmt.Errorf("telemetry: entity must have an ID")
+	}
+	if _, dup := db.entities[e.ID]; dup {
+		return fmt.Errorf("telemetry: duplicate entity %q", e.ID)
+	}
+	db.entities[e.ID] = e
+	db.order = append(db.order, e.ID)
+	db.series[e.ID] = make(map[string]*timeseries.Series)
+	if e.App != "" {
+		db.apps[e.App] = append(db.apps[e.App], e.ID)
+	}
+	return nil
+}
+
+// Entity returns the entity with the given ID, or nil when unknown.
+func (db *DB) Entity(id EntityID) *Entity { return db.entities[id] }
+
+// HasEntity reports whether id is registered.
+func (db *DB) HasEntity(id EntityID) bool { _, ok := db.entities[id]; return ok }
+
+// Entities returns all entity IDs in insertion order. The slice is shared;
+// treat it as read-only.
+func (db *DB) Entities() []EntityID { return db.order }
+
+// NumEntities returns the number of registered entities.
+func (db *DB) NumEntities() int { return len(db.entities) }
+
+// Apps returns the sorted list of application names with members.
+func (db *DB) Apps() []string {
+	out := make([]string, 0, len(db.apps))
+	for a := range db.apps {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// AppMembers returns the entities tagged as members of app, in insertion
+// order. The slice is shared; treat it as read-only.
+func (db *DB) AppMembers(app string) []EntityID { return db.apps[app] }
+
+// Associate records a metadata association between a and b. Bidirectional
+// associations add influence edges both ways (the conservative default of
+// §4.1); Directed adds only a→b. Unknown entities are an error.
+func (db *DB) Associate(a, b EntityID, kind AssocKind) error {
+	if !db.HasEntity(a) || !db.HasEntity(b) {
+		return fmt.Errorf("telemetry: association %q-%q references unknown entity", a, b)
+	}
+	if a == b {
+		return fmt.Errorf("telemetry: self association on %q", a)
+	}
+	db.addEdge(a, b)
+	if kind == Bidirectional {
+		db.addEdge(b, a)
+	}
+	return nil
+}
+
+func (db *DB) addEdge(from, to EntityID) {
+	if db.out[from] == nil {
+		db.out[from] = make(map[EntityID]bool)
+	}
+	if db.in[to] == nil {
+		db.in[to] = make(map[EntityID]bool)
+	}
+	db.out[from][to] = true
+	db.in[to][from] = true
+}
+
+// RemoveEdge deletes the directed influence edge from→to (and nothing else).
+// It is used by the data-degradation experiments (Table 2).
+func (db *DB) RemoveEdge(from, to EntityID) {
+	delete(db.out[from], to)
+	delete(db.in[to], from)
+}
+
+// RemoveAllEdges drops every association, keeping entities and metrics. The
+// evaluation uses it to hand Sage a database whose only edges are a causal
+// call-graph DAG.
+func (db *DB) RemoveAllEdges() {
+	db.out = make(map[EntityID]map[EntityID]bool)
+	db.in = make(map[EntityID]map[EntityID]bool)
+}
+
+// RemoveEntity deletes an entity together with its metrics and all edges
+// touching it (Table 2, "missing entity").
+func (db *DB) RemoveEntity(id EntityID) {
+	if !db.HasEntity(id) {
+		return
+	}
+	for nb := range db.out[id] {
+		delete(db.in[nb], id)
+	}
+	for nb := range db.in[id] {
+		delete(db.out[nb], id)
+	}
+	delete(db.out, id)
+	delete(db.in, id)
+	e := db.entities[id]
+	if e.App != "" {
+		members := db.apps[e.App]
+		for i, m := range members {
+			if m == id {
+				db.apps[e.App] = append(members[:i:i], members[i+1:]...)
+				break
+			}
+		}
+	}
+	delete(db.entities, id)
+	delete(db.series, id)
+	for i, o := range db.order {
+		if o == id {
+			db.order = append(db.order[:i:i], db.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// RemoveMetric deletes one metric series of an entity (Table 2,
+// "missing metric").
+func (db *DB) RemoveMetric(id EntityID, metric string) {
+	if m := db.series[id]; m != nil {
+		delete(m, metric)
+	}
+}
+
+// OutNeighbors returns the entities that id may influence, sorted.
+func (db *DB) OutNeighbors(id EntityID) []EntityID { return sortedKeys(db.out[id]) }
+
+// InNeighbors returns the entities that may influence id, sorted. These are
+// the in_nbrs(v) of the MRF factor definition.
+func (db *DB) InNeighbors(id EntityID) []EntityID { return sortedKeys(db.in[id]) }
+
+// Neighbors returns the union of in- and out-neighbors, sorted: the loose
+// "neighborhood" used to grow the relationship graph.
+func (db *DB) Neighbors(id EntityID) []EntityID {
+	set := make(map[EntityID]bool, len(db.out[id])+len(db.in[id]))
+	for nb := range db.out[id] {
+		set[nb] = true
+	}
+	for nb := range db.in[id] {
+		set[nb] = true
+	}
+	return sortedKeys(set)
+}
+
+// HasEdge reports whether the directed influence edge from→to exists.
+func (db *DB) HasEdge(from, to EntityID) bool { return db.out[from][to] }
+
+func sortedKeys(m map[EntityID]bool) []EntityID {
+	out := make([]EntityID, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SetSeries installs (replacing) the series for one metric of an entity and
+// extends the database timeline if needed.
+func (db *DB) SetSeries(id EntityID, metric string, s *timeseries.Series) error {
+	if !db.HasEntity(id) {
+		return fmt.Errorf("telemetry: SetSeries on unknown entity %q", id)
+	}
+	db.series[id][metric] = s
+	if s.Len() > db.length {
+		db.length = s.Len()
+	}
+	return nil
+}
+
+// Observe appends v at slice t for the metric, growing the series as needed.
+func (db *DB) Observe(id EntityID, metric string, t int, v float64) error {
+	if !db.HasEntity(id) {
+		return fmt.Errorf("telemetry: Observe on unknown entity %q", id)
+	}
+	s := db.series[id][metric]
+	if s == nil {
+		s = timeseries.New()
+		db.series[id][metric] = s
+	}
+	s.Set(t, v)
+	if t+1 > db.length {
+		db.length = t + 1
+	}
+	return nil
+}
+
+// Len returns the number of time slices on the shared grid.
+func (db *DB) Len() int { return db.length }
+
+// Series returns the series for (id, metric), or nil when absent. The
+// returned series is shared; treat it as read-only.
+func (db *DB) Series(id EntityID, metric string) *timeseries.Series {
+	return db.series[id][metric]
+}
+
+// MetricNames returns the sorted metric names recorded for an entity.
+func (db *DB) MetricNames(id EntityID) []string {
+	m := db.series[id]
+	out := make([]string, 0, len(m))
+	for name := range m {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// At returns the value of (id, metric) at slice t, or NaN when missing.
+func (db *DB) At(id EntityID, metric string, t int) float64 {
+	s := db.series[id][metric]
+	if s == nil {
+		return math.NaN()
+	}
+	return s.At(t)
+}
+
+// Window returns a copy of (id, metric) over [lo, hi), with missing values
+// filled by the type-appropriate default (0), implementing the paper's
+// placeholder rule for entities with missing history.
+func (db *DB) Window(id EntityID, metric string, lo, hi int) []float64 {
+	s := db.series[id][metric]
+	if s == nil {
+		out := make([]float64, hi-lo)
+		return out
+	}
+	w := s.Window(lo, hi)
+	// Pad to the requested width so callers get aligned slices even at the
+	// ragged end of the timeline.
+	for len(w) < hi-lo {
+		w = append(w, timeseries.Missing)
+	}
+	for i, v := range w {
+		if timeseries.IsMissing(v) {
+			w[i] = 0
+		}
+	}
+	return w
+}
+
+// RawWindow returns a copy of (id, metric) over [lo, hi) with missing
+// observations preserved as NaN (unlike Window, which fills placeholders).
+// An absent metric yields an all-missing slice of the requested width.
+func (db *DB) RawWindow(id EntityID, metric string, lo, hi int) []float64 {
+	s := db.series[id][metric]
+	if s == nil {
+		out := make([]float64, hi-lo)
+		for i := range out {
+			out[i] = timeseries.Missing
+		}
+		return out
+	}
+	w := s.Window(lo, hi)
+	for len(w) < hi-lo {
+		w = append(w, timeseries.Missing)
+	}
+	return w
+}
+
+// Clone returns a deep copy of the database (entities, edges, series). The
+// degradation experiments corrupt a clone, never the original.
+func (db *DB) Clone() *DB {
+	c := NewDB(db.IntervalSeconds)
+	c.length = db.length
+	for _, id := range db.order {
+		e := *db.entities[id]
+		if e.Attrs != nil {
+			attrs := make(map[string]string, len(e.Attrs))
+			for k, v := range e.Attrs {
+				attrs[k] = v
+			}
+			e.Attrs = attrs
+		}
+		if err := c.AddEntity(&e); err != nil {
+			panic("telemetry: clone: " + err.Error())
+		}
+		for name, s := range db.series[id] {
+			c.series[id][name] = s.Clone()
+		}
+	}
+	for from, tos := range db.out {
+		for to := range tos {
+			c.addEdge(from, to)
+		}
+	}
+	c.events = append([]Event(nil), db.events...)
+	return c
+}
+
+// snapshot is the JSON wire form of a DB.
+type snapshot struct {
+	IntervalSeconds int                               `json:"interval_seconds"`
+	Entities        []*Entity                         `json:"entities"`
+	Edges           [][2]EntityID                     `json:"edges"`
+	Series          map[EntityID]map[string][]float64 `json:"series"`
+	Events          []Event                           `json:"events,omitempty"`
+}
+
+// WriteJSON serializes the database (NaN encoded as null via pointer trick is
+// avoided by writing missing values as -1e308 sentinel-free: we emit NaN as
+// the JSON string "NaN" inside a float slice is invalid, so missing points
+// are dropped to 0 on export — exported snapshots are always fully observed).
+func (db *DB) WriteJSON(w io.Writer) error {
+	snap := snapshot{IntervalSeconds: db.IntervalSeconds}
+	for _, id := range db.order {
+		snap.Entities = append(snap.Entities, db.entities[id])
+	}
+	for _, from := range db.order {
+		for _, to := range sortedKeys(db.out[from]) {
+			snap.Edges = append(snap.Edges, [2]EntityID{from, to})
+		}
+	}
+	snap.Series = make(map[EntityID]map[string][]float64, len(db.series))
+	for id, metrics := range db.series {
+		m := make(map[string][]float64, len(metrics))
+		for name, s := range metrics {
+			vals := make([]float64, s.Len())
+			for i := 0; i < s.Len(); i++ {
+				v := s.At(i)
+				if timeseries.IsMissing(v) {
+					v = 0
+				}
+				vals[i] = v
+			}
+			m[name] = vals
+		}
+		snap.Series[id] = m
+	}
+	snap.Events = db.events
+	enc := json.NewEncoder(w)
+	return enc.Encode(&snap)
+}
+
+// ReadJSON deserializes a database previously written by WriteJSON.
+func ReadJSON(r io.Reader) (*DB, error) {
+	var snap snapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("telemetry: decode snapshot: %w", err)
+	}
+	if snap.IntervalSeconds <= 0 {
+		return nil, fmt.Errorf("telemetry: snapshot has invalid interval %d", snap.IntervalSeconds)
+	}
+	db := NewDB(snap.IntervalSeconds)
+	for _, e := range snap.Entities {
+		if err := db.AddEntity(e); err != nil {
+			return nil, err
+		}
+	}
+	for _, ed := range snap.Edges {
+		if err := db.Associate(ed[0], ed[1], Directed); err != nil {
+			return nil, err
+		}
+	}
+	for id, metrics := range snap.Series {
+		if !db.HasEntity(id) {
+			return nil, fmt.Errorf("telemetry: snapshot series for unknown entity %q", id)
+		}
+		for name, vals := range metrics {
+			if err := db.SetSeries(id, name, timeseries.FromValues(vals)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, ev := range snap.Events {
+		if err := db.RecordEvent(ev); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}

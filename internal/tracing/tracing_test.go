@@ -1,0 +1,259 @@
+package tracing
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// sampleTrace builds frontend -> (search -> geo), user.
+func sampleTrace(slice int) *Trace {
+	return &Trace{
+		Slice: slice,
+		Spans: []Span{
+			{ID: 0, Parent: -1, Service: "frontend", StartUS: 0, DurationUS: 1000},
+			{ID: 1, Parent: 0, Service: "search", StartUS: 100, DurationUS: 500},
+			{ID: 2, Parent: 1, Service: "geo", StartUS: 150, DurationUS: 200},
+			{ID: 3, Parent: 0, Service: "user", StartUS: 700, DurationUS: 200, Error: true},
+		},
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	if err := sampleTrace(0).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := sampleTrace(0)
+	bad.Spans[0].Parent = 5
+	if bad.Validate() == nil {
+		t.Fatal("non-root first span should fail")
+	}
+	bad = sampleTrace(0)
+	bad.Spans[2].Parent = 99
+	if bad.Validate() == nil {
+		t.Fatal("unseen parent should fail")
+	}
+	bad = sampleTrace(0)
+	bad.Spans[1].DurationUS = 99999 // escapes the root interval
+	if bad.Validate() == nil {
+		t.Fatal("child escaping parent should fail")
+	}
+	bad = sampleTrace(0)
+	bad.Spans[1].ID = 0
+	if bad.Validate() == nil {
+		t.Fatal("duplicate span ID should fail")
+	}
+	if (&Trace{}).Validate() == nil {
+		t.Fatal("empty trace should fail")
+	}
+}
+
+func TestTraceAccessors(t *testing.T) {
+	tr := sampleTrace(3)
+	if tr.RootService() != "frontend" || tr.Duration() != 1000 {
+		t.Fatal("root accessors wrong")
+	}
+	var empty Trace
+	if empty.RootService() != "" || empty.Duration() != 0 {
+		t.Fatal("empty accessors should be zero values")
+	}
+}
+
+func TestSamplerBounds(t *testing.T) {
+	if !(Sampler{Rate: 1}).Keep(42) {
+		t.Fatal("rate 1 keeps everything")
+	}
+	if (Sampler{Rate: 0}).Keep(42) {
+		t.Fatal("rate 0 keeps nothing")
+	}
+	// Deterministic per trace ID.
+	s := Sampler{Rate: 0.5}
+	if s.Keep(7) != s.Keep(7) {
+		t.Fatal("sampler must be deterministic")
+	}
+}
+
+func TestSamplerRateApproximation(t *testing.T) {
+	s := Sampler{Rate: 0.3}
+	kept := 0
+	const n = 20000
+	for i := int64(0); i < n; i++ {
+		if s.Keep(i) {
+			kept++
+		}
+	}
+	frac := float64(kept) / n
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("sampling fraction %v far from 0.3", frac)
+	}
+}
+
+func TestStoreCollect(t *testing.T) {
+	st := NewStore(1)
+	ok, err := st.Collect(sampleTrace(0))
+	if err != nil || !ok {
+		t.Fatalf("collect failed: %v %v", ok, err)
+	}
+	if st.Len() != 1 || st.Dropped() != 0 {
+		t.Fatal("store counts wrong")
+	}
+	if _, err := st.Collect(&Trace{}); err == nil {
+		t.Fatal("invalid trace should be rejected")
+	}
+	// Sampling drops some.
+	st2 := NewStore(0)
+	ok, err = st2.Collect(sampleTrace(0))
+	if err != nil || ok {
+		t.Fatal("rate-0 store should drop")
+	}
+	if st2.Dropped() != 1 {
+		t.Fatal("dropped count wrong")
+	}
+}
+
+func TestServiceLatency(t *testing.T) {
+	st := NewStore(1)
+	for slice := 0; slice < 3; slice++ {
+		if _, err := st.Collect(sampleTrace(slice)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lat := st.ServiceLatency("search", 3)
+	for i, v := range lat {
+		if math.Abs(v-0.5) > 1e-9 { // 500us = 0.5ms
+			t.Fatalf("slice %d latency = %v", i, v)
+		}
+	}
+	// Out-of-range slice traces are ignored.
+	tr := sampleTrace(99)
+	if _, err := st.Collect(tr); err != nil {
+		t.Fatal(err)
+	}
+	lat = st.ServiceLatency("search", 3)
+	if len(lat) != 3 {
+		t.Fatal("length wrong")
+	}
+	// Unknown service: all NaN.
+	for _, v := range st.ServiceLatency("ghost", 3) {
+		if v == v {
+			t.Fatal("unknown service should be NaN")
+		}
+	}
+}
+
+func TestLatencyPercentileAndErrorRate(t *testing.T) {
+	st := NewStore(1)
+	if _, err := st.Collect(sampleTrace(0)); err != nil {
+		t.Fatal(err)
+	}
+	if p := st.LatencyPercentile("geo", 0.5); math.Abs(p-0.2) > 1e-9 {
+		t.Fatalf("geo p50 = %v", p)
+	}
+	if p := st.LatencyPercentile("ghost", 0.5); p == p {
+		t.Fatal("unknown service percentile should be NaN")
+	}
+	if er := st.ErrorRate("user"); er != 1 {
+		t.Fatalf("user error rate = %v", er)
+	}
+	if er := st.ErrorRate("frontend"); er != 0 {
+		t.Fatalf("frontend error rate = %v", er)
+	}
+	if er := st.ErrorRate("ghost"); er != 0 {
+		t.Fatal("unknown service error rate should be 0")
+	}
+}
+
+func TestCallGraphExtraction(t *testing.T) {
+	st := NewStore(1)
+	for i := 0; i < 3; i++ {
+		if _, err := st.Collect(sampleTrace(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edges := st.CallGraph()
+	want := map[[2]string]int{
+		{"frontend", "search"}: 3,
+		{"frontend", "user"}:   3,
+		{"search", "geo"}:      3,
+	}
+	if len(edges) != len(want) {
+		t.Fatalf("edges = %+v", edges)
+	}
+	for _, e := range edges {
+		if want[[2]string{e.Caller, e.Callee}] != e.Count {
+			t.Fatalf("edge %+v wrong", e)
+		}
+	}
+	// Determinism: sorted order.
+	for i := 1; i < len(edges); i++ {
+		if edges[i-1].Caller > edges[i].Caller {
+			t.Fatal("edges must be sorted")
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	st := NewStore(1)
+	for i := 0; i < 2; i++ {
+		if _, err := st.Collect(sampleTrace(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := st.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 {
+		t.Fatalf("round trip lost traces: %d", got.Len())
+	}
+	if got.Traces()[1].Spans[2].Service != "geo" {
+		t.Fatal("span content lost")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString("{")); err == nil {
+		t.Fatal("malformed JSON should error")
+	}
+	if _, err := ReadJSON(bytes.NewBufferString(`[{"Slice":0,"Spans":[]}]`)); err == nil {
+		t.Fatal("invalid trace in JSON should error")
+	}
+}
+
+func TestCSVExport(t *testing.T) {
+	st := NewStore(1)
+	if _, err := st.Collect(sampleTrace(0)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 { // header + 4 spans
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "trace_id,slice,span_id") {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[4], "user") || !strings.Contains(lines[4], "true") {
+		t.Fatalf("error span row wrong: %q", lines[4])
+	}
+}
+
+// Property: sampling keeps a trace independent of collection order.
+func TestSamplerOrderIndependenceProperty(t *testing.T) {
+	f := func(id int64, rate float64) bool {
+		rate = math.Mod(math.Abs(rate), 1)
+		s := Sampler{Rate: rate}
+		a := s.Keep(id)
+		b := s.Keep(id)
+		return a == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

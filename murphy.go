@@ -1,0 +1,204 @@
+// Package murphy is a from-scratch Go reproduction of Murphy, the
+// performance-diagnosis system for distributed cloud applications presented
+// at SIGCOMM 2023 (Harsh et al.). Given commonly available monitoring
+// telemetry — entities, loose metadata associations, per-metric time series —
+// Murphy diagnoses a problematic (entity, metric) symptom by training a
+// Markov Random Field over the relationship graph online and running a
+// counterfactual Gibbs-sampling-variant inference to find the entities whose
+// normalization would alleviate the symptom. The diagnosis comes with a
+// ranked short list of root causes and human-readable explanation chains.
+//
+// The package is a facade over the building blocks in internal/: the
+// telemetry substrate, the relationship graph, the MRF core, the explanation
+// generator, and the symptom detector. A minimal session:
+//
+//	db := telemetry.NewDB(600)
+//	// ... add entities, associations, and metric observations ...
+//	sys, err := murphy.New(db, murphy.WithSeeds("backend-vm"))
+//	report, err := sys.Diagnose(telemetry.Symptom{
+//		Entity: "backend-vm", Metric: telemetry.MetricCPU, High: true,
+//	})
+//	for _, rc := range report.Causes {
+//		fmt.Println(rc.Entity, rc.Explanation)
+//	}
+package murphy
+
+import (
+	"fmt"
+
+	"murphy/internal/anomaly"
+	"murphy/internal/core"
+	"murphy/internal/explain"
+	"murphy/internal/graph"
+	"murphy/internal/telemetry"
+)
+
+// Config re-exports the algorithm parameters of the MRF core; the zero value
+// of any field falls back to the paper's defaults.
+type Config = core.Config
+
+// DefaultConfig returns the paper's parameter choices (B=10 features, W=4
+// Gibbs rounds, 5000 Monte-Carlo samples, one-week training window).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// System is a diagnosis session bound to one monitoring database. It builds
+// the relationship graph once; every Diagnose call trains the MRF online on
+// the trailing window, per the paper's online-training design.
+type System struct {
+	db     *telemetry.DB
+	g      *graph.Graph
+	cfg    Config
+	th     explain.Thresholds
+	maxHop int
+	seeds  []telemetry.EntityID
+}
+
+// Option customizes a System.
+type Option func(*System)
+
+// WithConfig overrides the algorithm parameters.
+func WithConfig(cfg Config) Option {
+	return func(s *System) { s.cfg = cfg }
+}
+
+// WithSeeds sets the entities the relationship graph is grown from
+// (typically the affected application's members, or the symptom entity).
+// When unset, the graph covers every entity in the database.
+func WithSeeds(seeds ...telemetry.EntityID) Option {
+	return func(s *System) { s.seeds = seeds }
+}
+
+// WithApp seeds the relationship graph with the tagged members of an
+// application, as operators do when a ticket names an affected app.
+func WithApp(db *telemetry.DB, app string) Option {
+	return func(s *System) { s.seeds = db.AppMembers(app) }
+}
+
+// WithMaxHops bounds the graph expansion from the seed set; negative (the
+// default) expands the reachable component. The paper's incident dataset
+// used four hops from the affected application.
+func WithMaxHops(h int) Option {
+	return func(s *System) { s.maxHop = h }
+}
+
+// WithThresholds overrides the explanation labeling thresholds.
+func WithThresholds(th explain.Thresholds) Option {
+	return func(s *System) { s.th = th }
+}
+
+// New builds a diagnosis session over a monitoring database.
+func New(db *telemetry.DB, opts ...Option) (*System, error) {
+	if db == nil || db.NumEntities() == 0 {
+		return nil, fmt.Errorf("murphy: empty monitoring database")
+	}
+	s := &System{
+		db:     db,
+		cfg:    core.DefaultConfig(),
+		th:     explain.DefaultThresholds(),
+		maxHop: -1,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	if len(s.seeds) == 0 {
+		s.seeds = db.Entities()
+	}
+	g, err := graph.Build(db, s.seeds, s.maxHop)
+	if err != nil {
+		return nil, fmt.Errorf("murphy: build relationship graph: %w", err)
+	}
+	s.g = g
+	return s, nil
+}
+
+// Graph exposes the relationship graph (entity count, cycles, …).
+func (s *System) Graph() *graph.Graph { return s.g }
+
+// RootCause is one diagnosed root cause with its explanation chain.
+type RootCause struct {
+	core.RootCause
+	// Explanation is the label-respecting causal chain from this root cause
+	// to the symptom entity, or empty when no chain exists.
+	Explanation string
+}
+
+// Report is the result of one diagnosis.
+type Report struct {
+	Symptom telemetry.Symptom
+	// Causes is the ranked root-cause list, most anomalous first.
+	Causes []RootCause
+	// Candidates is the pruned search space that was evaluated.
+	Candidates []telemetry.EntityID
+	// RecentChanges lists configuration changes in the training window;
+	// Murphy surfaces them so the operator can catch problems caused by
+	// recently spawned or reconfigured entities (§4.2 edge cases).
+	RecentChanges []telemetry.Event
+}
+
+// Diagnose trains the MRF online on the trailing window and runs the full
+// §4.2 inference for one symptom, then attaches explanation chains (§4.3).
+func (s *System) Diagnose(symptom telemetry.Symptom) (*Report, error) {
+	model, err := core.Train(s.db, s.g, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	diag, err := model.Diagnose(symptom)
+	if err != nil {
+		return nil, err
+	}
+	labeler := explain.NewLabeler(model, s.db, s.th)
+	since := model.Now() - s.cfg.TrainWindow
+	if since < 0 {
+		since = 0
+	}
+	report := &Report{
+		Symptom:       symptom,
+		Candidates:    diag.Candidates,
+		RecentChanges: s.db.EventsSince(since),
+	}
+	for _, c := range diag.Causes {
+		rc := RootCause{RootCause: c}
+		if chain, ok := explain.Explain(labeler, s.g, c.Entity, symptom.Entity); ok {
+			rc.Explanation = chain.Render(s.db)
+		}
+		report.Causes = append(report.Causes, rc)
+	}
+	return report, nil
+}
+
+// WhatIf answers the §7 performance-reasoning question: if the given entity
+// metrics were set to these values, what would the target metric become?
+// The prediction propagates the intervention through the relationship graph
+// with the configured number of Gibbs rounds (deterministically); predicted
+// is meaningful only when ok is true (some override can reach the target).
+// The returned current value is the target's value at the diagnosis slice.
+func (s *System) WhatIf(overrides map[telemetry.EntityID]map[string]float64, target telemetry.EntityID, targetMetric string) (predicted, current float64, ok bool, err error) {
+	model, err := core.Train(s.db, s.g, s.cfg)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	pred, reached := model.PredictUnderIntervention(overrides, target, targetMetric, 0)
+	return pred, model.CurrentValue(target, targetMetric), reached, nil
+}
+
+// FindSymptoms scans an affected application for problematic (entity,
+// metric) pairs at the latest time slice (Appendix A.1), most anomalous
+// first, so a ticket that names only an application can be turned into
+// concrete Diagnose calls.
+func (s *System) FindSymptoms(app string) []telemetry.Symptom {
+	det := anomaly.NewDetector()
+	scored := det.ScanApp(s.db, app, s.db.Len()-1)
+	out := make([]telemetry.Symptom, len(scored))
+	for i, sc := range scored {
+		out[i] = sc.Symptom
+	}
+	return out
+}
+
+// Top returns the first k causes of a report (or fewer).
+func (r *Report) Top(k int) []RootCause {
+	if k > len(r.Causes) {
+		k = len(r.Causes)
+	}
+	return r.Causes[:k]
+}
