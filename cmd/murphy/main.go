@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"murphy"
+	"murphy/internal/resilience"
 	"murphy/internal/telemetry"
 )
 
@@ -28,6 +29,9 @@ func main() {
 		topK     = flag.Int("top", 5, "how many root causes to print per symptom")
 		samples  = flag.Int("samples", 5000, "Monte-Carlo samples per counterfactual test")
 		window   = flag.Int("window", 300, "online-training window (time slices)")
+		timeout  = flag.Duration("timeout", 0, "diagnosis deadline; on expiry the partial ranking is printed (0 = none)")
+		workers  = flag.Int("workers", 1, "parallel candidate evaluators (1 = sequential; results identical)")
+		retries  = flag.Int("retries", 0, "retry attempts for transient telemetry read faults (0 = no retry layer)")
 	)
 	flag.Parse()
 	if *snapshot == "" {
@@ -47,8 +51,15 @@ func main() {
 	cfg := murphy.DefaultConfig()
 	cfg.Samples = *samples
 	cfg.TrainWindow = *window
+	cfg.Timeout = *timeout
 
 	opts := []murphy.Option{murphy.WithConfig(cfg)}
+	if *workers > 1 {
+		opts = append(opts, murphy.WithWorkers(*workers))
+	}
+	if *retries > 0 {
+		opts = append(opts, murphy.WithRetry(resilience.Policy{MaxAttempts: *retries}))
+	}
 	var symptoms []telemetry.Symptom
 	switch {
 	case *entity != "" && *metric != "":
@@ -79,12 +90,23 @@ func main() {
 			fmt.Fprintf(os.Stderr, "murphy: %v\n", err)
 			continue
 		}
+		if report.Partial {
+			fmt.Printf("PARTIAL result: %d of %d candidates not fully evaluated\n",
+				len(report.Skipped), len(report.Candidates))
+		}
+		if report.ReadFailures > 0 {
+			fmt.Printf("%d telemetry reads failed and were treated as missing data\n", report.ReadFailures)
+		}
 		if len(report.Causes) == 0 {
 			fmt.Println("no root cause passed the counterfactual test")
 			continue
 		}
 		for i, rc := range report.Top(*topK) {
 			e := db.Entity(rc.Entity)
+			if rc.Degraded {
+				fmt.Printf("%2d. %-40s anomaly=%.1f  DEGRADED (%s)\n", i+1, e, rc.Score, rc.Reason)
+				continue
+			}
 			fmt.Printf("%2d. %-40s anomaly=%.1f  p=%.4f  effect=%.2f\n", i+1, e, rc.Score, rc.PValue, rc.Effect)
 			if rc.Explanation != "" {
 				fmt.Printf("    chain: %s\n", rc.Explanation)

@@ -1,8 +1,16 @@
-// Robustness demonstrates the Table 2 experiment on a single scenario: a
+// Robustness demonstrates Murphy's tolerance to bad telemetry, in two acts.
+//
+// Act one is the Table 2 experiment on a single scenario: a
 // resource-contention fault is injected into the hotel-reservation
 // emulation, the telemetry is corrupted four ways (missing values, edge,
-// entity, metric), and Murphy diagnoses each corrupted copy. The diagnosis
-// should survive every corruption.
+// entity, metric) — *static* damage baked into the database — and Murphy
+// diagnoses each corrupted copy. The diagnosis should survive every
+// corruption.
+//
+// Act two injects *dynamic* faults instead: the telemetry store itself
+// misbehaves at read time (transient errors, NaN-corrupted windows) and the
+// resilience layer — retries with backoff plus a circuit breaker — absorbs
+// the faults during online training. The diagnosis should again survive.
 //
 // Run with: go run ./examples/robustness
 package main
@@ -11,10 +19,13 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"time"
 
 	"murphy"
+	"murphy/internal/chaos"
 	"murphy/internal/degrade"
 	"murphy/internal/microsim"
+	"murphy/internal/resilience"
 	"murphy/internal/telemetry"
 )
 
@@ -68,6 +79,7 @@ func main() {
 	cfg := murphy.DefaultConfig()
 	cfg.Samples = 1500
 	cfg.TrainWindow = 280
+	fmt.Println("--- static corruption (Table 2 degradations) ---")
 	for _, c := range cases {
 		sys, err := murphy.New(c.db, murphy.WithConfig(cfg), murphy.WithSeeds(sc.Symptom.Entity))
 		if err != nil {
@@ -77,18 +89,49 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		rank := -1
-		for i, rc := range report.Causes {
-			if accept[rc.Entity] {
-				rank = i + 1
-				break
-			}
-		}
-		verdict := "MISS"
-		if rank > 0 && rank <= 5 {
-			verdict = fmt.Sprintf("HIT at rank %d", rank)
-		}
 		fmt.Printf("%-45s -> %s (%d causes from %d candidates)\n",
-			c.name, verdict, len(report.Causes), len(report.Candidates))
+			c.name, verdict(report, accept), len(report.Causes), len(report.Candidates))
 	}
+
+	// Act two: the store misbehaves at read time. 10% of training-window
+	// reads fail transiently and a sprinkle of values arrive NaN-corrupted;
+	// retries absorb the transients and the breaker guards against a source
+	// that goes fully dark.
+	fmt.Println("\n--- dynamic faults (chaos injection at read time) ---")
+	inj := chaos.Wrap(pristine, chaos.Config{Seed: 42, FaultRate: 0.10, CorruptRate: 0.001})
+	sys, err := murphy.New(pristine,
+		murphy.WithConfig(cfg),
+		murphy.WithSeeds(sc.Symptom.Entity),
+		murphy.WithSource(inj),
+		murphy.WithRetry(resilience.Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}),
+		murphy.WithBreaker(resilience.BreakerConfig{FailureThreshold: 8, Cooldown: 50 * time.Millisecond}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := sys.Diagnose(sc.Symptom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-45s -> %s (%d causes from %d candidates)\n",
+		"10% transient faults + NaN corruption", verdict(report, accept), len(report.Causes), len(report.Candidates))
+	ist, rst := inj.Stats(), sys.SourceStats()
+	fmt.Printf("injector: %d reads saw %d faults, %d corrupted values\n", ist.Reads, ist.Faults, ist.Corrupted)
+	fmt.Printf("resilience: %d reads, %d retried, %d failed for good, %d rejected by the breaker\n",
+		rst.Reads, rst.Retried, rst.Failed, rst.Rejected)
+	fmt.Printf("report: partial=%v, %d skipped candidates, %d unrecoverable read failures\n",
+		report.Partial, len(report.Skipped), report.ReadFailures)
+}
+
+// verdict reports where the first acceptable root cause ranks.
+func verdict(report *murphy.Report, accept map[telemetry.EntityID]bool) string {
+	for i, rc := range report.Causes {
+		if accept[rc.Entity] {
+			if i < 5 {
+				return fmt.Sprintf("HIT at rank %d", i+1)
+			}
+			break
+		}
+	}
+	return "MISS"
 }

@@ -1,0 +1,219 @@
+// Package chaos injects runtime faults into the telemetry read path: the
+// dynamic counterpart to internal/degrade's static Table 2 corruptions.
+// Where degrade hands the algorithm a corrupted database, chaos makes the
+// *reads themselves* misbehave — transient errors, latency, NaN-corrupted
+// values, whole series dropped — so the resilience layer (retries, circuit
+// breaker, missing-data degradation) can be exercised end to end on a
+// healthy database.
+//
+// All injection is driven by a seeded generator, so a given configuration
+// over a given read sequence reproduces the same faults.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"murphy/internal/telemetry"
+)
+
+// Config sets the per-read fault rates. All rates are probabilities in
+// [0, 1]; zero disables that fault class.
+type Config struct {
+	// Seed drives all randomness (same seed + same read order ⇒ same
+	// faults).
+	Seed int64
+	// FaultRate is the probability a read fails with a transient error
+	// (wrapping telemetry.ErrTransient, so retry policies recognize it).
+	FaultRate float64
+	// LatencyRate is the probability a read stalls for Latency before
+	// returning; the stall respects context cancellation.
+	LatencyRate float64
+	// Latency is the injected stall duration (default 5 ms when
+	// LatencyRate > 0).
+	Latency time.Duration
+	// CorruptRate is the per-element probability that a returned window
+	// value is replaced with NaN (an unparseable/corrupt observation).
+	CorruptRate float64
+	// DropRate is the probability a given (entity, metric) series is
+	// dropped entirely — invisible in MetricNames and all-missing when
+	// read directly. Drops are chosen by a seeded hash, so they are
+	// stable across reads.
+	DropRate float64
+}
+
+// Stats counts the faults an injector has dealt out.
+type Stats struct {
+	// Reads is the number of ReadRawWindow calls received.
+	Reads int
+	// Faults is the number of injected transient errors.
+	Faults int
+	// Stalls is the number of injected latency stalls.
+	Stalls int
+	// Corrupted is the number of window elements flipped to NaN.
+	Corrupted int
+	// DroppedSeries is the number of distinct (entity, metric) series
+	// hidden by DropRate.
+	DroppedSeries int
+}
+
+// Injector is a fault-injecting telemetry.Source wrapping another source.
+// It is safe for concurrent use.
+type Injector struct {
+	inner telemetry.Source
+	cfg   Config
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	stats Stats
+	// dropped memoizes the per-series drop decision for stats counting.
+	dropped map[seriesKey]bool
+}
+
+type seriesKey struct {
+	id     telemetry.EntityID
+	metric string
+}
+
+// Wrap builds an injector over a source (typically a *telemetry.DB).
+func Wrap(inner telemetry.Source, cfg Config) *Injector {
+	if cfg.LatencyRate > 0 && cfg.Latency <= 0 {
+		cfg.Latency = 5 * time.Millisecond
+	}
+	return &Injector{
+		inner:   inner,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		dropped: make(map[seriesKey]bool),
+	}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Len implements telemetry.Source.
+func (in *Injector) Len() int { return in.inner.Len() }
+
+// Entities implements telemetry.Source.
+func (in *Injector) Entities() []telemetry.EntityID { return in.inner.Entities() }
+
+// MetricNames implements telemetry.Source, hiding dropped series.
+func (in *Injector) MetricNames(id telemetry.EntityID) []string {
+	names := in.inner.MetricNames(id)
+	if in.cfg.DropRate <= 0 {
+		return names
+	}
+	kept := make([]string, 0, len(names))
+	for _, name := range names {
+		if in.isDropped(id, name) {
+			continue
+		}
+		kept = append(kept, name)
+	}
+	return kept
+}
+
+// isDropped decides (deterministically, by seeded hash) whether a series is
+// dropped, and counts first sightings.
+func (in *Injector) isDropped(id telemetry.EntityID, metric string) bool {
+	h := hash64(in.cfg.Seed, string(id), metric)
+	drop := float64(h%1_000_000)/1_000_000 < in.cfg.DropRate
+	if drop {
+		in.mu.Lock()
+		k := seriesKey{id, metric}
+		if !in.dropped[k] {
+			in.dropped[k] = true
+			in.stats.DroppedSeries++
+		}
+		in.mu.Unlock()
+	}
+	return drop
+}
+
+// ReadRawWindow implements telemetry.Source with fault injection: possibly
+// stall, possibly fail transiently, possibly corrupt elements of the result.
+func (in *Injector) ReadRawWindow(ctx context.Context, id telemetry.EntityID, metric string, lo, hi int) ([]float64, error) {
+	// Draw all randomness for this read up front under the lock, so
+	// concurrent readers can't interleave mid-read draws.
+	in.mu.Lock()
+	in.stats.Reads++
+	stall := in.cfg.LatencyRate > 0 && in.rng.Float64() < in.cfg.LatencyRate
+	fault := in.cfg.FaultRate > 0 && in.rng.Float64() < in.cfg.FaultRate
+	var corruptAt []int
+	if in.cfg.CorruptRate > 0 {
+		for t := lo; t < hi; t++ {
+			if in.rng.Float64() < in.cfg.CorruptRate {
+				corruptAt = append(corruptAt, t-lo)
+			}
+		}
+	}
+	if stall {
+		in.stats.Stalls++
+	}
+	if fault {
+		in.stats.Faults++
+	}
+	in.mu.Unlock()
+
+	if stall {
+		t := time.NewTimer(in.cfg.Latency)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+	if fault {
+		return nil, fmt.Errorf("chaos: injected fault reading %s/%s: %w", id, metric, telemetry.ErrTransient)
+	}
+	if in.cfg.DropRate > 0 && in.isDropped(id, metric) {
+		w := make([]float64, hi-lo)
+		for i := range w {
+			w[i] = math.NaN()
+		}
+		return w, nil
+	}
+	w, err := in.inner.ReadRawWindow(ctx, id, metric, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	if len(corruptAt) > 0 {
+		in.mu.Lock()
+		for _, i := range corruptAt {
+			if i < len(w) && !math.IsNaN(w[i]) {
+				w[i] = math.NaN()
+				in.stats.Corrupted++
+			}
+		}
+		in.mu.Unlock()
+	}
+	return w, nil
+}
+
+// hash64 is FNV-1a over the seed and strings, for stable drop decisions.
+func hash64(seed int64, parts ...string) uint64 {
+	var h uint64 = 14695981039346656037
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(seed >> (8 * i)))
+	}
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			mix(p[i])
+		}
+		mix(0)
+	}
+	return h
+}

@@ -1,0 +1,180 @@
+package chaos
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"murphy/internal/telemetry"
+)
+
+func testDB(t *testing.T) *telemetry.DB {
+	t.Helper()
+	db := telemetry.NewDB(60)
+	for _, id := range []telemetry.EntityID{"a", "b"} {
+		if err := db.AddEntity(&telemetry.Entity{ID: id, Type: telemetry.TypeVM, Name: string(id)}); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 50; i++ {
+			if err := db.Observe(id, telemetry.MetricCPU, i, float64(i)); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Observe(id, telemetry.MetricMem, i, float64(i)*2); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return db
+}
+
+func TestZeroConfigIsTransparent(t *testing.T) {
+	db := testDB(t)
+	in := Wrap(db, Config{Seed: 1})
+	w, err := in.ReadRawWindow(context.Background(), "a", telemetry.MetricCPU, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range w {
+		if v != float64(i) {
+			t.Fatalf("w[%d] = %v", i, v)
+		}
+	}
+	if got := in.MetricNames("a"); len(got) != 2 {
+		t.Fatalf("MetricNames = %v", got)
+	}
+	if in.Len() != db.Len() || len(in.Entities()) != 2 {
+		t.Fatal("Len/Entities must pass through")
+	}
+}
+
+func TestTransientFaultRate(t *testing.T) {
+	db := testDB(t)
+	in := Wrap(db, Config{Seed: 3, FaultRate: 0.5})
+	faults := 0
+	for i := 0; i < 200; i++ {
+		_, err := in.ReadRawWindow(context.Background(), "a", telemetry.MetricCPU, 0, 10)
+		if err != nil {
+			if !telemetry.IsTransient(err) {
+				t.Fatalf("injected fault must be transient, got %v", err)
+			}
+			faults++
+		}
+	}
+	if faults < 60 || faults > 140 {
+		t.Fatalf("faults = %d of 200 at rate 0.5", faults)
+	}
+	if in.Stats().Faults != faults {
+		t.Fatalf("stats disagree: %+v vs %d", in.Stats(), faults)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	db := testDB(t)
+	read := func(seed int64) []bool {
+		in := Wrap(db, Config{Seed: seed, FaultRate: 0.3})
+		outcomes := make([]bool, 50)
+		for i := range outcomes {
+			_, err := in.ReadRawWindow(context.Background(), "a", telemetry.MetricCPU, 0, 10)
+			outcomes[i] = err != nil
+		}
+		return outcomes
+	}
+	a, b := read(9), read(9)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must inject the same faults")
+		}
+	}
+}
+
+func TestCorruptValues(t *testing.T) {
+	db := testDB(t)
+	in := Wrap(db, Config{Seed: 5, CorruptRate: 0.2})
+	w, err := in.ReadRawWindow(context.Background(), "a", telemetry.MetricCPU, 0, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nans := 0
+	for _, v := range w {
+		if math.IsNaN(v) {
+			nans++
+		}
+	}
+	if nans == 0 {
+		t.Fatal("corrupt rate 0.2 over 50 elements should flip something")
+	}
+	if in.Stats().Corrupted != nans {
+		t.Fatalf("stats = %+v, nans = %d", in.Stats(), nans)
+	}
+	// Original database untouched.
+	if math.IsNaN(db.At("a", telemetry.MetricCPU, 0)) {
+		t.Fatal("chaos must not mutate the wrapped source")
+	}
+}
+
+func TestDroppedSeries(t *testing.T) {
+	db := testDB(t)
+	in := Wrap(db, Config{Seed: 11, DropRate: 0.5})
+	visible := 0
+	for _, id := range []telemetry.EntityID{"a", "b"} {
+		visible += len(in.MetricNames(id))
+	}
+	if visible == 4 {
+		t.Fatal("drop rate 0.5 over 4 series should hide something (seeded)")
+	}
+	// Drop decisions are stable across calls.
+	for i := 0; i < 3; i++ {
+		again := 0
+		for _, id := range []telemetry.EntityID{"a", "b"} {
+			again += len(in.MetricNames(id))
+		}
+		if again != visible {
+			t.Fatal("drop decisions must be stable")
+		}
+	}
+	// A dropped series reads as all-missing, not as an error.
+	for _, id := range []telemetry.EntityID{"a", "b"} {
+		for _, name := range []string{telemetry.MetricCPU, telemetry.MetricMem} {
+			seen := false
+			for _, kept := range in.MetricNames(id) {
+				if kept == name {
+					seen = true
+				}
+			}
+			if seen {
+				continue
+			}
+			w, err := in.ReadRawWindow(context.Background(), id, name, 0, 10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range w {
+				if !math.IsNaN(v) {
+					t.Fatal("dropped series must read all-missing")
+				}
+			}
+		}
+	}
+	if in.Stats().DroppedSeries == 0 {
+		t.Fatalf("stats = %+v", in.Stats())
+	}
+}
+
+func TestLatencyRespectsContext(t *testing.T) {
+	db := testDB(t)
+	in := Wrap(db, Config{Seed: 2, LatencyRate: 1, Latency: 10 * time.Second})
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := in.ReadRawWindow(ctx, "a", telemetry.MetricCPU, 0, 10)
+	if err == nil {
+		t.Fatal("stalled read under an expired context should fail")
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("stall did not respect cancellation: %v", elapsed)
+	}
+	if in.Stats().Stalls != 1 {
+		t.Fatalf("stats = %+v", in.Stats())
+	}
+}

@@ -172,6 +172,13 @@ func TestDiagnoseTimeout(t *testing.T) {
 	if len(diag.Causes) != 0 {
 		t.Fatalf("expired deadline should stop evaluation, got %v", diag.Ranked())
 	}
+	if !diag.Partial || len(diag.Skipped) != len(diag.Candidates) {
+		t.Fatalf("expired deadline should flag every candidate skipped: partial=%v skipped=%d/%d",
+			diag.Partial, len(diag.Skipped), len(diag.Candidates))
+	}
+	if len(diag.Degraded) == 0 {
+		t.Fatal("skipped candidates should fall back to the degraded ranking")
+	}
 }
 
 func TestModelAccessors(t *testing.T) {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -25,6 +27,20 @@ type RootCause struct {
 	// Path is the shortest-path subgraph (candidate → symptom) the
 	// resampler walked, in resampling order.
 	Path []telemetry.EntityID
+	// Degraded marks an anomaly-score-only fallback verdict: the candidate's
+	// counterfactual evaluation failed or was cut off, so it was ranked by
+	// anomaly score alone without the significance test (PValue and Effect
+	// are NaN). Reason says why.
+	Degraded bool
+	// Reason explains a degraded verdict ("deadline exceeded", "panic: …").
+	Reason string
+}
+
+// SkippedCandidate records one candidate whose counterfactual evaluation
+// did not complete, and why.
+type SkippedCandidate struct {
+	Entity telemetry.EntityID
+	Reason string
 }
 
 // Diagnosis is the result of one Diagnose call.
@@ -32,6 +48,18 @@ type Diagnosis struct {
 	Symptom telemetry.Symptom
 	// Causes is the ranked list of root-cause entities (best first).
 	Causes []RootCause
+	// Degraded ranks (by anomaly score alone) the candidates whose full
+	// counterfactual evaluation failed or was cut short — the degradation
+	// policy's fallback. Entries carry Degraded=true and a Reason. They are
+	// kept separate from Causes so a degraded guess can never displace a
+	// certified root cause.
+	Degraded []RootCause
+	// Skipped lists every candidate that was not fully evaluated, with the
+	// reason (deadline, cancellation, evaluator panic).
+	Skipped []SkippedCandidate
+	// Partial is true when at least one candidate was skipped: the ranked
+	// lists are valid but may be incomplete.
+	Partial bool
 	// Candidates is the pruned search space that was evaluated.
 	Candidates []telemetry.EntityID
 	// Elapsed is the wall-clock inference time (excluding training).
@@ -50,44 +78,125 @@ func (d *Diagnosis) Ranked() []telemetry.EntityID {
 // Diagnose runs the full inference of §4.2 for one symptom: prune the
 // candidate search space, evaluate every candidate with the counterfactual
 // resampling algorithm, keep the significant ones, and rank them by anomaly
-// score.
+// score. It is DiagnoseContext with a background context (cfg.Timeout, when
+// set, still bounds the call).
 func (m *Model) Diagnose(symptom telemetry.Symptom) (*Diagnosis, error) {
+	return m.DiagnoseContext(context.Background(), symptom)
+}
+
+// DiagnoseContext is Diagnose under cooperative cancellation. The deadline
+// semantics implement graceful degradation rather than all-or-nothing:
+//
+//   - An expired deadline (the context's, or cfg.Timeout) stops evaluating
+//     further candidates and returns a *partial* Diagnosis — the causes
+//     certified so far stay ranked, every unevaluated candidate is recorded
+//     in Skipped with a reason and falls back to the anomaly-score-only
+//     Degraded ranking. No error is returned: an operator with a deadline
+//     wants the best available answer, not a timeout.
+//   - An explicitly cancelled context returns promptly with an error
+//     wrapping context.Canceled (alongside the partial diagnosis assembled
+//     so far): cancellation means the answer is no longer wanted.
+//
+// A candidate evaluation that panics (a poisoned factor, a bug in a custom
+// trainer) is recovered, recorded in Skipped, and degraded like a timeout,
+// so one bad candidate cannot take down a diagnosis.
+func (m *Model) DiagnoseContext(ctx context.Context, symptom telemetry.Symptom) (*Diagnosis, error) {
 	if err := m.checkSymptom(symptom); err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	deadline := time.Time{}
 	if m.cfg.Timeout > 0 {
-		deadline = start.Add(m.cfg.Timeout)
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.cfg.Timeout)
+		defer cancel()
 	}
+	start := time.Now()
 	// The symptom entity itself is always a legal candidate: many real
 	// incidents resolve to the symptomatic entity (a local memory leak, a
 	// threshold excursion with no upstream driver). Its counterfactual is
 	// the degenerate one-node path: normalizing its own anomalous metrics.
 	candidates := append(m.Candidates(symptom.Entity), symptom.Entity)
-	var causes []RootCause
+	d := &Diagnosis{Symptom: symptom, Candidates: candidates}
 	for _, cand := range candidates {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			break
-		}
-		verdict, ok := m.EvaluateCandidate(cand, symptom)
-		if !ok {
+		if err := ctx.Err(); err != nil {
+			m.recordSkip(d, cand, skipReason(err))
 			continue
 		}
-		causes = append(causes, verdict)
+		verdict, ok, err := m.evaluateCandidateSafe(ctx, cand, symptom)
+		if err != nil {
+			m.recordSkip(d, cand, evalFailReason(err))
+			continue
+		}
+		if ok {
+			d.Causes = append(d.Causes, verdict)
+		}
 	}
+	finishDiagnosis(d, start)
+	if errors.Is(ctx.Err(), context.Canceled) {
+		return d, fmt.Errorf("core: diagnosis cancelled: %w", ctx.Err())
+	}
+	return d, nil
+}
+
+// skipReason renders a context error as a skip reason.
+func skipReason(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return "deadline exceeded"
+	}
+	return "cancelled"
+}
+
+// evalFailReason renders an evaluation failure (context abort mid-sampling,
+// or a recovered panic) as a skip reason.
+func evalFailReason(err error) string {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return skipReason(err)
+	}
+	return err.Error()
+}
+
+// recordSkip registers a not-fully-evaluated candidate: a Skipped entry plus
+// an anomaly-score-only Degraded verdict (the degradation policy: when the
+// counterfactual test cannot run, rank by how anomalous the entity looks).
+func (m *Model) recordSkip(d *Diagnosis, cand telemetry.EntityID, reason string) {
+	d.Skipped = append(d.Skipped, SkippedCandidate{Entity: cand, Reason: reason})
+	d.Degraded = append(d.Degraded, RootCause{
+		Entity:   cand,
+		Score:    m.AnomalyScore(cand),
+		PValue:   math.NaN(),
+		Effect:   math.NaN(),
+		Degraded: true,
+		Reason:   reason,
+	})
+}
+
+// finishDiagnosis ranks the cause lists and stamps the partial flag.
+func finishDiagnosis(d *Diagnosis, start time.Time) {
+	sortCauses(d.Causes)
+	sortCauses(d.Degraded)
+	d.Partial = len(d.Skipped) > 0
+	d.Elapsed = time.Since(start)
+}
+
+func sortCauses(causes []RootCause) {
 	sort.Slice(causes, func(i, j int) bool {
 		if causes[i].Score != causes[j].Score {
 			return causes[i].Score > causes[j].Score
 		}
 		return causes[i].Entity < causes[j].Entity
 	})
-	return &Diagnosis{
-		Symptom:    symptom,
-		Causes:     causes,
-		Candidates: candidates,
-		Elapsed:    time.Since(start),
-	}, nil
+}
+
+// evaluateCandidateSafe runs one candidate evaluation under panic recovery
+// and cancellation: a panic or a context abort becomes an error, never a
+// crashed or deadlocked diagnosis.
+func (m *Model) evaluateCandidateSafe(ctx context.Context, a telemetry.EntityID, symptom telemetry.Symptom) (rc RootCause, ok bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rc, ok = RootCause{}, false
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return m.evaluateCandidate(ctx, a, symptom)
 }
 
 // checkSymptom validates that a symptom is diagnosable against this model.
@@ -113,23 +222,41 @@ func (m *Model) Candidates(symptom telemetry.EntityID) []telemetry.EntityID {
 // the symptom metric toward normal? It returns the verdict and whether A
 // qualifies as a root cause.
 func (m *Model) EvaluateCandidate(a telemetry.EntityID, symptom telemetry.Symptom) (RootCause, bool) {
+	rc, ok, _ := m.evaluateCandidate(context.Background(), a, symptom)
+	return rc, ok
+}
+
+// evaluateCandidate is EvaluateCandidate under a context: the per-candidate
+// Gibbs sampling loop checks for cancellation between resampling passes, so
+// a deadline cuts a stalled evaluation short instead of running it to
+// completion.
+func (m *Model) evaluateCandidate(ctx context.Context, a telemetry.EntityID, symptom telemetry.Symptom) (RootCause, bool, error) {
+	if m.evalHook != nil {
+		m.evalHook(a)
+	}
 	d := symptom.Entity
 	path := m.g.ShortestPathSubgraph(a, d)
 	if path == nil {
-		return RootCause{}, false // A cannot influence D in the graph
+		return RootCause{}, false, nil // A cannot influence D in the graph
 	}
 	symRef := metricRef{d, symptom.Metric}
 	symFactor := m.factors[symRef]
 	if symFactor == nil {
-		return RootCause{}, false
+		return RootCause{}, false, nil
 	}
 	cf := m.counterfactualState(a)
 	if cf == nil {
-		return RootCause{}, false // nothing to perturb
+		return RootCause{}, false, nil // nothing to perturb
 	}
 	rng := rand.New(rand.NewSource(m.cfg.Seed ^ int64(hashID(a))<<1 ^ int64(hashID(d))))
-	d1 := m.resampleSymptom(path, cf, symRef, rng)        // counterfactual start
-	d2 := m.resampleSymptom(path, m.current, symRef, rng) // factual start
+	d1, err := m.resampleSymptom(ctx, path, cf, symRef, rng) // counterfactual start
+	if err != nil {
+		return RootCause{}, false, err
+	}
+	d2, err := m.resampleSymptom(ctx, path, m.current, symRef, rng) // factual start
+	if err != nil {
+		return RootCause{}, false, err
+	}
 
 	alt := stats.Less // high symptom: counterfactual should be lower
 	if !symptom.High {
@@ -137,7 +264,7 @@ func (m *Model) EvaluateCandidate(a telemetry.EntityID, symptom telemetry.Sympto
 	}
 	res, err := stats.WelchTTest(d1, d2, alt)
 	if err != nil {
-		return RootCause{}, false
+		return RootCause{}, false, nil
 	}
 	shift := stats.Mean(d2) - stats.Mean(d1) // >0 when counterfactual lowers D
 	if !symptom.High {
@@ -158,9 +285,9 @@ func (m *Model) EvaluateCandidate(a telemetry.EntityID, symptom telemetry.Sympto
 	if res.P > m.cfg.Alpha || effect < m.cfg.MinEffect {
 		// The verdict is still returned populated so callers can inspect
 		// why the candidate was rejected.
-		return rc, false
+		return rc, false, nil
 	}
-	return rc, true
+	return rc, true, nil
 }
 
 // counterfactualState returns a copy of the current state with candidate A's
@@ -225,8 +352,10 @@ func (m *Model) moveTowardNormal(ref metricRef, z float64) float64 {
 // (first node) is pinned: its state is the perturbation under test.
 //
 // All chains are advanced in lockstep so the per-factor feature assembly is
-// amortized across samples.
-func (m *Model) resampleSymptom(path []telemetry.EntityID, start map[metricRef]float64, symRef metricRef, rng *rand.Rand) []float64 {
+// amortized across samples. The context is checked once per (round, node)
+// step — frequent enough that an expired deadline stops a long resampling
+// within a small fraction of its runtime.
+func (m *Model) resampleSymptom(ctx context.Context, path []telemetry.EntityID, start map[metricRef]float64, symRef metricRef, rng *rand.Rand) ([]float64, error) {
 	n := m.cfg.Samples
 	// chainState[ref][i] is the value of ref in chain i.
 	chainState := make(map[metricRef][]float64)
@@ -248,6 +377,9 @@ func (m *Model) resampleSymptom(path []telemetry.EntityID, start map[metricRef]f
 	x := make([]float64, 0, 16)
 	for round := 0; round < m.cfg.GibbsRounds; round++ {
 		for pi, id := range path {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if pi == 0 {
 				continue // the candidate's perturbed state is held fixed
 			}
@@ -281,7 +413,7 @@ func (m *Model) resampleSymptom(path []telemetry.EntityID, start map[metricRef]f
 	}
 	res := make([]float64, n)
 	copy(res, chainState[symRef])
-	return res
+	return res, nil
 }
 
 // hashID gives a stable small hash of an entity ID for seeding.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -83,20 +84,70 @@ type Model struct {
 	now int
 	// trainer builds one regression model per factor.
 	trainer regress.Trainer
+	// readFailures records telemetry reads that failed even after the
+	// source's own resilience; training degraded each to missing data.
+	readFailures []ReadFailure
+	// evalHook, when set, runs at the start of every candidate evaluation.
+	// It is a fault-injection seam: a hook that panics or stalls models a
+	// poisoned candidate evaluator. Production diagnoses leave it nil.
+	evalHook func(telemetry.EntityID)
 }
+
+// ReadFailure records one training-window read that failed after the
+// telemetry source's retries were exhausted. The affected series was
+// degraded to missing data (placeholder-filled), per the paper's
+// missing-history rule, instead of failing the diagnosis.
+type ReadFailure struct {
+	Entity telemetry.EntityID
+	Metric string
+	Err    error
+}
+
+// ReadFailures lists the degraded-to-missing reads of the training pass.
+func (m *Model) ReadFailures() []ReadFailure { return m.readFailures }
+
+// SetEvalHook installs a hook invoked at the start of every candidate
+// evaluation, before any sampling. It exists for fault-injection tests and
+// chaos drills — a hook that panics models a poisoned evaluator, which the
+// diagnosis must absorb as a failed candidate rather than crash on.
+func (m *Model) SetEvalHook(h func(telemetry.EntityID)) { m.evalHook = h }
 
 // Train fits the MRF on the database restricted to the relationship graph,
 // using the cfg.TrainWindow trailing slices ending at the database's last
 // slice. Murphy never keeps pre-trained models: this runs on every
 // diagnosis call so the window includes in-incident points.
 func Train(db *telemetry.DB, g *graph.Graph, cfg Config) (*Model, error) {
-	return TrainAt(db, g, cfg, db.Len()-1, nil)
+	return trainAt(context.Background(), db, nil, g, cfg, db.Len()-1, nil)
+}
+
+// TrainContext is Train with cooperative cancellation: training aborts with
+// the context's error as soon as the context is done.
+func TrainContext(ctx context.Context, db *telemetry.DB, g *graph.Graph, cfg Config) (*Model, error) {
+	return trainAt(ctx, db, nil, g, cfg, db.Len()-1, nil)
+}
+
+// TrainSource is TrainContext with the training-window reads routed through
+// src — typically a resilience.Source (retries + circuit breaker) over a
+// chaos injector or a remote collector. A read that still fails after the
+// source's own resilience does not fail training: the series degrades to
+// missing data (the §4.2 placeholder rule) and the failure is recorded on
+// the model (ReadFailures). db remains the handle used for Rebind and
+// explanation lookups.
+func TrainSource(ctx context.Context, db *telemetry.DB, src telemetry.Source, g *graph.Graph, cfg Config) (*Model, error) {
+	return trainAt(ctx, db, src, g, cfg, db.Len()-1, nil)
 }
 
 // TrainAt fits the MRF with the training window ending at slice `now`
 // (inclusive). A nil trainer uses ridge regression with cfg.Lambda — the
 // paper's production choice; the Fig 8a comparison passes other trainers.
 func TrainAt(db *telemetry.DB, g *graph.Graph, cfg Config, now int, trainer regress.Trainer) (*Model, error) {
+	return trainAt(context.Background(), db, nil, g, cfg, now, trainer)
+}
+
+// trainAt is the shared training pass. src == nil reads the database
+// directly (infallible); a non-nil src interposes the resilient/faulty read
+// path, with per-series degradation on unrecoverable errors.
+func trainAt(ctx context.Context, db *telemetry.DB, src telemetry.Source, g *graph.Graph, cfg Config, now int, trainer regress.Trainer) (*Model, error) {
 	cfg = cfg.sanitized()
 	if db.Len() == 0 {
 		return nil, fmt.Errorf("core: empty database")
@@ -127,17 +178,60 @@ func TrainAt(db *telemetry.DB, g *graph.Graph, cfg Config, now int, trainer regr
 		return nil, fmt.Errorf("core: training window too short (%d slices)", n)
 	}
 
+	// readRaw fetches one raw training window, through src when present.
+	// A context abort fails training; any other read error (already past
+	// the source's own retries) degrades the series to all-missing, which
+	// the placeholder machinery below absorbs exactly like never-observed
+	// history.
+	readRaw := func(id telemetry.EntityID, name string) ([]float64, error) {
+		if src == nil {
+			return db.RawWindow(id, name, m.trainLo, m.trainHi), nil
+		}
+		w, err := src.ReadRawWindow(ctx, id, name, m.trainLo, m.trainHi)
+		if err == nil && len(w) == m.trainHi-m.trainLo {
+			return w, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("core: training cancelled: %w", cerr)
+		}
+		if err == nil {
+			err = fmt.Errorf("core: short read (%d of %d slices)", len(w), m.trainHi-m.trainLo)
+		}
+		m.readFailures = append(m.readFailures, ReadFailure{Entity: id, Metric: name, Err: err})
+		w = make([]float64, m.trainHi-m.trainLo)
+		for i := range w {
+			w[i] = math.NaN()
+		}
+		return w, nil
+	}
+	metricNames := func(id telemetry.EntityID) []string {
+		if src == nil {
+			return db.MetricNames(id)
+		}
+		return src.MetricNames(id)
+	}
+
 	// Cache training windows for every metric of every node once. Missing
 	// observations get a placeholder (§4.2 edge cases); the placeholder is
 	// the metric's observed median — zero-filling would fabricate a step
 	// aligned with whenever observation began, which pollutes correlations.
+	// raws keeps the pre-fill copies so anomaly scoring can distinguish
+	// observed history from placeholders without a second read.
 	windows := make(map[metricRef][]float64)
+	raws := make(map[metricRef][]float64)
 	for _, id := range g.IDs() {
-		names := db.MetricNames(id)
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: training cancelled: %w", err)
+		}
+		names := metricNames(id)
 		m.metricsOf[id] = names
 		for _, name := range names {
 			ref := metricRef{id, name}
-			w := db.RawWindow(id, name, m.trainLo, m.trainHi)
+			w, err := readRaw(id, name)
+			if err != nil {
+				return nil, err
+			}
+			raws[ref] = append([]float64(nil), w...)
 			def := stats.Median(observedOnly(w))
 			if def != def {
 				def = 0 // nothing observed at all: the type default
@@ -154,6 +248,9 @@ func TrainAt(db *telemetry.DB, g *graph.Graph, cfg Config, now int, trainer regr
 
 	// Fit one factor per (entity, metric).
 	for _, id := range g.IDs() {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("core: training cancelled: %w", err)
+		}
 		inIDs := g.InIDs(id)
 		// Collect all candidate neighbor metric refs.
 		var cand []metricRef
@@ -171,7 +268,7 @@ func TrainAt(db *telemetry.DB, g *graph.Graph, cfg Config, now int, trainer regr
 			// whose past was never recorded (newly spawned, or the Table 2
 			// missing-values corruption) must be judged against what was
 			// seen, not against the training-time placeholders.
-			obsY := observedOnly(db.RawWindow(id, name, m.trainLo, m.trainHi))
+			obsY := observedOnly(raws[ref])
 			// The in-incident tail does not count as judgeable history: if
 			// everything observed is recent (post-erasure), normality cannot
 			// be certified.

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 	"time"
 
@@ -15,54 +17,84 @@ import (
 // sampler is independently seeded), only wall time changes. workers <= 0
 // uses GOMAXPROCS.
 func (m *Model) DiagnoseParallel(symptom telemetry.Symptom, workers int) (*Diagnosis, error) {
+	return m.DiagnoseParallelContext(context.Background(), symptom, workers)
+}
+
+// DiagnoseParallelContext is DiagnoseParallel under cooperative
+// cancellation, with the same partial-result semantics as DiagnoseContext:
+// an expired deadline yields a partial Diagnosis (skipped candidates
+// flagged and degraded to anomaly-score ranking), an explicit cancellation
+// returns an error wrapping context.Canceled.
+//
+// Every worker evaluates candidates under panic recovery: a panicking
+// candidate evaluation becomes a recorded skip + degraded verdict for that
+// candidate while the rest of the diagnosis completes. Without the
+// recovery, one panic would kill the worker goroutine and deadlock the
+// caller in wg.Wait.
+func (m *Model) DiagnoseParallelContext(ctx context.Context, symptom telemetry.Symptom, workers int) (*Diagnosis, error) {
 	if err := m.checkSymptom(symptom); err != nil {
 		return nil, err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if m.cfg.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, m.cfg.Timeout)
+		defer cancel()
+	}
 	start := time.Now()
 	candidates := append(m.Candidates(symptom.Entity), symptom.Entity)
-	type job struct {
-		idx  int
-		cand telemetry.EntityID
+	// Each candidate's outcome lands in its own slot, so assembly below is
+	// deterministic regardless of worker interleaving.
+	type outcome struct {
+		cause *RootCause
+		skip  string // non-empty: skipped with this reason
 	}
-	jobs := make(chan job)
-	results := make([]*RootCause, len(candidates))
+	results := make([]outcome, len(candidates))
+	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				if verdict, ok := m.EvaluateCandidate(j.cand, symptom); ok {
+			for idx := range jobs {
+				cand := candidates[idx]
+				if err := ctx.Err(); err != nil {
+					// Keep draining so the feeder never blocks; each
+					// remaining candidate is recorded as skipped.
+					results[idx] = outcome{skip: skipReason(err)}
+					continue
+				}
+				verdict, ok, err := m.evaluateCandidateSafe(ctx, cand, symptom)
+				switch {
+				case err != nil:
+					results[idx] = outcome{skip: evalFailReason(err)}
+				case ok:
 					v := verdict
-					results[j.idx] = &v
+					results[idx] = outcome{cause: &v}
 				}
 			}
 		}()
 	}
-	for i, c := range candidates {
-		jobs <- job{i, c}
+	for i := range candidates {
+		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
-	var causes []RootCause
-	for _, r := range results {
-		if r != nil {
-			causes = append(causes, *r)
+
+	d := &Diagnosis{Symptom: symptom, Candidates: candidates}
+	for i, r := range results {
+		switch {
+		case r.skip != "":
+			m.recordSkip(d, candidates[i], r.skip)
+		case r.cause != nil:
+			d.Causes = append(d.Causes, *r.cause)
 		}
 	}
-	sort.Slice(causes, func(i, j int) bool {
-		if causes[i].Score != causes[j].Score {
-			return causes[i].Score > causes[j].Score
-		}
-		return causes[i].Entity < causes[j].Entity
-	})
-	return &Diagnosis{
-		Symptom:    symptom,
-		Causes:     causes,
-		Candidates: candidates,
-		Elapsed:    time.Since(start),
-	}, nil
+	finishDiagnosis(d, start)
+	if errors.Is(ctx.Err(), context.Canceled) {
+		return d, fmt.Errorf("core: diagnosis cancelled: %w", ctx.Err())
+	}
+	return d, nil
 }

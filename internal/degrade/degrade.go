@@ -6,12 +6,20 @@
 package degrade
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"murphy/internal/telemetry"
 	"murphy/internal/timeseries"
 )
+
+// ErrNoneSelected reports that a randomized corruption selected zero
+// victims, leaving the database effectively pristine. Harness callers must
+// treat it as "retry with more randomness", never as a successful
+// corruption: scoring an uncorrupted run as a robustness pass silently
+// inflates Table 2.
+var ErrNoneSelected = errors.New("degrade: corruption selected no victims")
 
 // Protected marks entities a corruption must not delete outright (the
 // symptom entity and the ground-truth entity: removing those changes the
@@ -79,7 +87,10 @@ func MissingMetric(db *telemetry.DB, entity telemetry.EntityID, rng *rand.Rand) 
 // MissingValues erases the historical values (everything before keepFrom) of
 // a random fraction of entities, leaving the in-incident tail intact — the
 // newly-spawned-entity case. It returns the corrupted clone and how many
-// entities were affected.
+// entities were affected. When the draw selects no entity with metrics to
+// erase (tiny fraction, or a database of metric-less entities), it returns
+// ErrNoneSelected so the caller never mistakes a pristine copy for a
+// corrupted one.
 func MissingValues(db *telemetry.DB, fraction float64, keepFrom int, rng *rand.Rand) (*telemetry.DB, int, error) {
 	if fraction <= 0 || fraction > 1 {
 		return nil, 0, fmt.Errorf("degrade: fraction %v out of (0,1]", fraction)
@@ -93,6 +104,11 @@ func MissingValues(db *telemetry.DB, fraction float64, keepFrom int, rng *rand.R
 		if rng.Float64() >= fraction {
 			continue
 		}
+		// An entity with no metric series has no history to erase; it does
+		// not count as a victim.
+		if len(c.MetricNames(id)) == 0 {
+			continue
+		}
 		n++
 		for _, metric := range c.MetricNames(id) {
 			s := c.Series(id, metric)
@@ -103,6 +119,9 @@ func MissingValues(db *telemetry.DB, fraction float64, keepFrom int, rng *rand.R
 				s.Set(t, timeseries.Missing)
 			}
 		}
+	}
+	if n == 0 {
+		return nil, 0, fmt.Errorf("degrade: fraction %v erased no history: %w", fraction, ErrNoneSelected)
 	}
 	return c, n, nil
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -147,6 +148,13 @@ func corrupt(sc *microsim.Scenario, deg string, rng *rand.Rand) error {
 		sc.Result.DB = c
 	case "missing-values":
 		c, _, err := degrade.MissingValues(db, 0.25, sc.FaultStart, rng)
+		// A draw that selects no victims is not a corrupted run; redraw
+		// rather than scoring a pristine copy as a robustness pass. The rng
+		// advances every call, so this terminates (and in practice a 25%
+		// fraction over dozens of entities virtually never misses twice).
+		for attempts := 0; errors.Is(err, degrade.ErrNoneSelected) && attempts < 100; attempts++ {
+			c, _, err = degrade.MissingValues(db, 0.25, sc.FaultStart, rng)
+		}
 		if err != nil {
 			return err
 		}

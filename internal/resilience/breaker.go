@@ -1,0 +1,178 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOpen is returned by a breaker that is refusing calls because the
+// protected source has been failing persistently. Callers treat it like an
+// unavailable source (the diagnosis core falls back to missing-data
+// placeholders) rather than hammering a sick backend with retries.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// BreakerState is the classic three-state circuit-breaker automaton.
+type BreakerState int
+
+const (
+	// Closed passes calls through, counting consecutive failures.
+	Closed BreakerState = iota
+	// Open rejects calls outright until the cooldown elapses.
+	Open
+	// HalfOpen lets probe calls through; success closes, failure reopens.
+	HalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// BreakerConfig tunes a Breaker; zero fields fall back to defaults suited
+// to per-diagnosis telemetry reads (trip after 5 consecutive failures,
+// probe again after 5 s, one success closes).
+type BreakerConfig struct {
+	// FailureThreshold is the run of consecutive failures that opens the
+	// breaker (default 5).
+	FailureThreshold int
+	// Cooldown is how long the breaker stays open before letting a probe
+	// through (default 5 s).
+	Cooldown time.Duration
+	// SuccessesToClose is how many half-open probe successes close the
+	// breaker again (default 1).
+	SuccessesToClose int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.SuccessesToClose <= 0 {
+		c.SuccessesToClose = 1
+	}
+	return c
+}
+
+// Breaker is a thread-safe circuit breaker. It protects one downstream
+// source: when the source fails persistently the breaker opens and fails
+// fast, giving the source a cooldown instead of retry pressure, then probes
+// it half-open before resuming full traffic.
+type Breaker struct {
+	cfg BreakerConfig
+	now func() time.Time // test seam
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int // consecutive failures while closed
+	successes int // consecutive probe successes while half-open
+	openedAt  time.Time
+}
+
+// NewBreaker builds a closed breaker with the given configuration.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// WithClock replaces the breaker's time source (test seam).
+func (b *Breaker) WithClock(now func() time.Time) *Breaker {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.now = now
+	return b
+}
+
+// State returns the breaker's current state (advancing Open → HalfOpen if
+// the cooldown has elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tick()
+	return b.state
+}
+
+// tick advances Open → HalfOpen once the cooldown has elapsed. Callers must
+// hold b.mu.
+func (b *Breaker) tick() {
+	if b.state == Open && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.state = HalfOpen
+		b.successes = 0
+	}
+}
+
+// Allow reports whether a call may proceed right now; ErrOpen means the
+// caller should fail fast. A nil result must be followed by a Record call
+// with the outcome.
+func (b *Breaker) Allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tick()
+	if b.state == Open {
+		return ErrOpen
+	}
+	return nil
+}
+
+// Record feeds one call outcome into the automaton. Context cancellations
+// are not counted: the caller gave up, which says nothing about the source.
+func (b *Breaker) Record(err error) {
+	if contextErr(err) {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tick()
+	switch b.state {
+	case Closed:
+		if err == nil {
+			b.failures = 0
+			return
+		}
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.trip()
+		}
+	case HalfOpen:
+		if err != nil {
+			b.trip()
+			return
+		}
+		b.successes++
+		if b.successes >= b.cfg.SuccessesToClose {
+			b.state = Closed
+			b.failures = 0
+		}
+	case Open:
+		// A straggler finishing after the trip; nothing to update.
+	}
+}
+
+// trip opens the breaker. Callers must hold b.mu.
+func (b *Breaker) trip() {
+	b.state = Open
+	b.openedAt = b.now()
+	b.failures = 0
+	b.successes = 0
+}
+
+// Do runs op under the breaker: fails fast with ErrOpen when open,
+// otherwise records the outcome.
+func (b *Breaker) Do(ctx context.Context, op func(context.Context) error) error {
+	if err := b.Allow(); err != nil {
+		return err
+	}
+	err := op(ctx)
+	b.Record(err)
+	return err
+}

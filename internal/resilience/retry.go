@@ -1,0 +1,138 @@
+// Package resilience provides the runtime fault-tolerance primitives the
+// diagnosis pipeline is built on: a context-aware generic retry with
+// exponential backoff and jitter, and a per-source circuit breaker. They are
+// the dynamic counterpart to internal/degrade's static corruptions — degrade
+// asks "does the algorithm survive bad data?", resilience makes the *system*
+// survive bad reads, stalls, and panicking evaluations at runtime.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Policy parameterizes a retry loop. The zero value retries up to four
+// attempts starting at a 10 ms backoff, doubling up to 1 s, with ±50%
+// jitter, retrying every error except context cancellation.
+type Policy struct {
+	// MaxAttempts is the total number of attempts, including the first
+	// (<= 0 means the default of 4; 1 disables retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 10 ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (default 1 s).
+	MaxDelay time.Duration
+	// Multiplier is the backoff growth factor (default 2).
+	Multiplier float64
+	// Jitter is the fraction of each delay that is randomized, in [0, 1]:
+	// the actual delay is d * (1 - Jitter/2 + Jitter*u) for uniform u.
+	// Negative disables jitter; 0 means the default of 0.5.
+	Jitter float64
+	// RetryIf decides whether an error is worth another attempt. Nil
+	// retries everything except context.Canceled / DeadlineExceeded
+	// (those also stop the loop regardless of RetryIf).
+	RetryIf func(error) bool
+	// Seed makes the jitter sequence deterministic (0 is a valid seed).
+	Seed int64
+	// sleep is a test seam; nil uses a context-aware timer sleep.
+	sleep func(ctx context.Context, d time.Duration) error
+}
+
+// WithSleep returns a copy of the policy using fn to wait between attempts
+// (a test seam so retry tests don't consume wall-clock time).
+func (p Policy) WithSleep(fn func(ctx context.Context, d time.Duration) error) Policy {
+	p.sleep = fn
+	return p
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 10 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = time.Second
+	}
+	if p.Multiplier <= 1 {
+		p.Multiplier = 2
+	}
+	switch {
+	case p.Jitter < 0:
+		p.Jitter = 0
+	case p.Jitter == 0:
+		p.Jitter = 0.5
+	case p.Jitter > 1:
+		p.Jitter = 1
+	}
+	if p.sleep == nil {
+		p.sleep = sleepCtx
+	}
+	return p
+}
+
+// sleepCtx waits for d or until the context is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// contextErr reports whether err is a context cancellation or deadline —
+// errors that must never be retried (the caller gave up, not the source).
+func contextErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Do runs op under the policy: on a retryable error it backs off
+// (exponentially, with jitter) and tries again until the attempts are
+// exhausted or the context is done. The zero value of T and the last error
+// are returned on failure; the error reports how many attempts were made.
+func Do[T any](ctx context.Context, p Policy, op func(context.Context) (T, error)) (T, error) {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	var zero T
+	delay := p.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			return zero, fmt.Errorf("resilience: aborted before attempt %d: %w", attempt, cerr)
+		}
+		var v T
+		v, err = op(ctx)
+		if err == nil {
+			return v, nil
+		}
+		if contextErr(err) {
+			return zero, err
+		}
+		if p.RetryIf != nil && !p.RetryIf(err) {
+			return zero, err
+		}
+		if attempt >= p.MaxAttempts {
+			break
+		}
+		d := delay
+		if p.Jitter > 0 {
+			f := 1 - p.Jitter/2 + p.Jitter*rng.Float64()
+			d = time.Duration(float64(d) * f)
+		}
+		if serr := p.sleep(ctx, d); serr != nil {
+			return zero, fmt.Errorf("resilience: aborted during backoff after attempt %d: %w", attempt, serr)
+		}
+		delay = time.Duration(float64(delay) * p.Multiplier)
+		if delay > p.MaxDelay {
+			delay = p.MaxDelay
+		}
+	}
+	return zero, fmt.Errorf("resilience: %d attempts exhausted: %w", p.MaxAttempts, err)
+}

@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+)
+
+// ErrTransient classifies a telemetry read failure as transient: the read
+// may succeed if retried (a flaky collector connection, a momentarily
+// overloaded shard). Wrappers that inject or surface such faults wrap this
+// sentinel so retry policies can distinguish them from permanent failures.
+var ErrTransient = errors.New("telemetry: transient read fault")
+
+// IsTransient reports whether err is (or wraps) a transient read fault.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// Source is the read-side interface the diagnosis core consumes during
+// online training. *DB satisfies it directly (and never fails); wrappers
+// interpose behavior on the read path — internal/chaos injects faults,
+// internal/resilience absorbs them with retries and a circuit breaker.
+//
+// Reads take a context so a slow or stalled source can be abandoned when
+// the diagnosis deadline expires, and return an error so transient faults
+// can propagate instead of silently yielding empty data.
+type Source interface {
+	// Len returns the number of time slices on the shared grid.
+	Len() int
+	// Entities returns all entity IDs in a stable order.
+	Entities() []EntityID
+	// MetricNames returns the sorted metric names recorded for an entity.
+	MetricNames(id EntityID) []string
+	// ReadRawWindow returns a copy of (id, metric) over [lo, hi) with
+	// missing observations preserved as NaN, like DB.RawWindow.
+	ReadRawWindow(ctx context.Context, id EntityID, metric string, lo, hi int) ([]float64, error)
+}
+
+// ReadRawWindow implements Source over the in-memory database. It never
+// fails and ignores the context: an in-process map read cannot stall.
+func (db *DB) ReadRawWindow(_ context.Context, id EntityID, metric string, lo, hi int) ([]float64, error) {
+	return db.RawWindow(id, metric, lo, hi), nil
+}

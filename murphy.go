@@ -24,12 +24,14 @@
 package murphy
 
 import (
+	"context"
 	"fmt"
 
 	"murphy/internal/anomaly"
 	"murphy/internal/core"
 	"murphy/internal/explain"
 	"murphy/internal/graph"
+	"murphy/internal/resilience"
 	"murphy/internal/telemetry"
 )
 
@@ -51,6 +53,15 @@ type System struct {
 	th     explain.Thresholds
 	maxHop int
 	seeds  []telemetry.EntityID
+	// src is the read path used for online training; defaults to db.
+	// WithSource interposes another source (e.g. a chaos injector);
+	// WithRetry/WithBreaker wrap it in the resilience layer.
+	src     telemetry.Source
+	retry   *resilience.Policy
+	brkCfg  *resilience.BreakerConfig
+	breaker *resilience.Breaker
+	rsrc    *resilience.Source
+	workers int
 }
 
 // Option customizes a System.
@@ -86,6 +97,36 @@ func WithThresholds(th explain.Thresholds) Option {
 	return func(s *System) { s.th = th }
 }
 
+// WithSource routes the online-training reads through src instead of the
+// database directly — a chaos injector in robustness drills, or any
+// external read path. Combine with WithRetry/WithBreaker to absorb the
+// source's transient faults.
+func WithSource(src telemetry.Source) Option {
+	return func(s *System) { s.src = src }
+}
+
+// WithRetry wraps the training-window reads in a retry policy: transient
+// telemetry faults (telemetry.ErrTransient) are absorbed with exponential
+// backoff instead of degrading the affected series.
+func WithRetry(p resilience.Policy) Option {
+	return func(s *System) { s.retry = &p }
+}
+
+// WithBreaker adds a circuit breaker on the telemetry read path: a source
+// failing persistently is given a cooldown (reads fail fast and degrade to
+// missing data) instead of retry pressure. The breaker persists across
+// Diagnose calls on this System.
+func WithBreaker(cfg resilience.BreakerConfig) Option {
+	return func(s *System) { s.brkCfg = &cfg }
+}
+
+// WithWorkers fans candidate evaluations out over n workers per Diagnose
+// call (n <= 1 stays sequential; results are identical either way, per the
+// independently seeded samplers).
+func WithWorkers(n int) Option {
+	return func(s *System) { s.workers = n }
+}
+
 // New builds a diagnosis session over a monitoring database.
 func New(db *telemetry.DB, opts ...Option) (*System, error) {
 	if db == nil || db.NumEntities() == 0 {
@@ -108,7 +149,32 @@ func New(db *telemetry.DB, opts ...Option) (*System, error) {
 		return nil, fmt.Errorf("murphy: build relationship graph: %w", err)
 	}
 	s.g = g
+	if s.src == nil {
+		s.src = db
+	}
+	if s.retry != nil || s.brkCfg != nil {
+		var retry resilience.Policy
+		if s.retry != nil {
+			retry = *s.retry
+		} else {
+			retry.MaxAttempts = 1 // breaker only, no retries
+		}
+		if s.brkCfg != nil {
+			s.breaker = resilience.NewBreaker(*s.brkCfg)
+		}
+		s.rsrc = resilience.NewSource(s.src, retry, s.breaker)
+		s.src = s.rsrc
+	}
 	return s, nil
+}
+
+// SourceStats reports what the resilient read layer absorbed so far
+// (zero-valued when WithRetry/WithBreaker were not used).
+func (s *System) SourceStats() resilience.SourceStats {
+	if s.rsrc == nil {
+		return resilience.SourceStats{}
+	}
+	return s.rsrc.Stats()
 }
 
 // Graph exposes the relationship graph (entity count, cycles, …).
@@ -125,7 +191,11 @@ type RootCause struct {
 // Report is the result of one diagnosis.
 type Report struct {
 	Symptom telemetry.Symptom
-	// Causes is the ranked root-cause list, most anomalous first.
+	// Causes is the ranked root-cause list, most anomalous first. Fully
+	// certified causes come first; when the diagnosis degraded (deadline,
+	// faults, a panicking evaluation), anomaly-score-only fallback entries
+	// follow, flagged with Degraded=true — a degraded guess never displaces
+	// a certified cause.
 	Causes []RootCause
 	// Candidates is the pruned search space that was evaluated.
 	Candidates []telemetry.EntityID
@@ -133,16 +203,46 @@ type Report struct {
 	// Murphy surfaces them so the operator can catch problems caused by
 	// recently spawned or reconfigured entities (§4.2 edge cases).
 	RecentChanges []telemetry.Event
+	// Partial is true when not every candidate was fully evaluated: the
+	// ranking is valid but may be incomplete.
+	Partial bool
+	// Skipped lists the candidates that were not fully evaluated and why
+	// (deadline exceeded, evaluator panic).
+	Skipped []core.SkippedCandidate
+	// ReadFailures counts telemetry reads that failed even after the
+	// resilience layer's retries; the affected series were treated as
+	// missing data during training.
+	ReadFailures int
 }
 
 // Diagnose trains the MRF online on the trailing window and runs the full
 // §4.2 inference for one symptom, then attaches explanation chains (§4.3).
 func (s *System) Diagnose(symptom telemetry.Symptom) (*Report, error) {
-	model, err := core.Train(s.db, s.g, s.cfg)
+	return s.DiagnoseContext(context.Background(), symptom)
+}
+
+// DiagnoseContext is Diagnose under cooperative cancellation, the
+// operational entry point for deadline-bound diagnoses:
+//
+//   - A context deadline that expires mid-inference yields a *partial*
+//     Report, not an error: the causes certified so far stay ranked,
+//     unevaluated candidates are flagged in Skipped and fall back to
+//     anomaly-score-only entries (Degraded=true) at the end of Causes.
+//   - An explicitly cancelled context returns promptly with an error
+//     wrapping context.Canceled.
+//   - A deadline that expires during training (before inference can start)
+//     returns an error: there is no model to answer with.
+func (s *System) DiagnoseContext(ctx context.Context, symptom telemetry.Symptom) (*Report, error) {
+	model, err := s.train(ctx)
 	if err != nil {
 		return nil, err
 	}
-	diag, err := model.Diagnose(symptom)
+	var diag *core.Diagnosis
+	if s.workers > 1 {
+		diag, err = model.DiagnoseParallelContext(ctx, symptom, s.workers)
+	} else {
+		diag, err = model.DiagnoseContext(ctx, symptom)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -155,6 +255,9 @@ func (s *System) Diagnose(symptom telemetry.Symptom) (*Report, error) {
 		Symptom:       symptom,
 		Candidates:    diag.Candidates,
 		RecentChanges: s.db.EventsSince(since),
+		Partial:       diag.Partial,
+		Skipped:       diag.Skipped,
+		ReadFailures:  len(model.ReadFailures()),
 	}
 	for _, c := range diag.Causes {
 		rc := RootCause{RootCause: c}
@@ -163,7 +266,21 @@ func (s *System) Diagnose(symptom telemetry.Symptom) (*Report, error) {
 		}
 		report.Causes = append(report.Causes, rc)
 	}
+	// Degraded fallbacks ride at the tail: visible, flagged, never ahead of
+	// a certified cause. No explanation chains — their evaluation never ran.
+	for _, c := range diag.Degraded {
+		report.Causes = append(report.Causes, RootCause{RootCause: c})
+	}
 	return report, nil
+}
+
+// train fits the MRF through the configured read path.
+func (s *System) train(ctx context.Context) (*core.Model, error) {
+	if plain, ok := s.src.(*telemetry.DB); ok && plain == s.db {
+		// No interposed source: keep the direct (infallible) read path.
+		return core.TrainContext(ctx, s.db, s.g, s.cfg)
+	}
+	return core.TrainSource(ctx, s.db, s.src, s.g, s.cfg)
 }
 
 // WhatIf answers the §7 performance-reasoning question: if the given entity
@@ -173,7 +290,14 @@ func (s *System) Diagnose(symptom telemetry.Symptom) (*Report, error) {
 // is meaningful only when ok is true (some override can reach the target).
 // The returned current value is the target's value at the diagnosis slice.
 func (s *System) WhatIf(overrides map[telemetry.EntityID]map[string]float64, target telemetry.EntityID, targetMetric string) (predicted, current float64, ok bool, err error) {
-	model, err := core.Train(s.db, s.g, s.cfg)
+	return s.WhatIfContext(context.Background(), overrides, target, targetMetric)
+}
+
+// WhatIfContext is WhatIf under cooperative cancellation (the online
+// training pass honors the context; the deterministic propagation itself is
+// fast and runs to completion).
+func (s *System) WhatIfContext(ctx context.Context, overrides map[telemetry.EntityID]map[string]float64, target telemetry.EntityID, targetMetric string) (predicted, current float64, ok bool, err error) {
+	model, err := s.train(ctx)
 	if err != nil {
 		return 0, 0, false, err
 	}

@@ -1,11 +1,16 @@
 package murphy
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"strings"
 	"testing"
+	"time"
 
+	"murphy/internal/chaos"
+	"murphy/internal/resilience"
 	"murphy/internal/telemetry"
 )
 
@@ -185,6 +190,158 @@ func TestWhatIf(t *testing.T) {
 	}
 	if _, _, ok, err := sys2.WhatIf(overrides, "island", telemetry.MetricCPU); err != nil || ok {
 		t.Fatalf("unreachable target should report !ok: ok=%v err=%v", ok, err)
+	}
+}
+
+func demoSymptom() telemetry.Symptom {
+	return telemetry.Symptom{Entity: "backend", Metric: telemetry.MetricCPU, High: true}
+}
+
+func TestDiagnoseContextCancelled(t *testing.T) {
+	sys := testSystem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := sys.DiagnoseContext(ctx, demoSymptom())
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled diagnosis took %v, want prompt return", elapsed)
+	}
+}
+
+func TestDiagnoseContextDeadlinePartial(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Samples = 60000
+	cfg.GibbsRounds = 8
+	cfg.TrainWindow = 220
+	sys, err := New(demoDB(t), WithConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	report, err := sys.DiagnoseContext(ctx, demoSymptom())
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("deadline should degrade, not error: %v", err)
+	}
+	if elapsed > time.Second {
+		t.Fatalf("deadline-bound diagnosis took %v", elapsed)
+	}
+	if !report.Partial || len(report.Skipped) == 0 {
+		t.Fatalf("report should be flagged partial with skipped candidates: partial=%v skipped=%d",
+			report.Partial, len(report.Skipped))
+	}
+	// Degraded fallbacks appear in the ranking, flagged, after any certified
+	// causes.
+	sawDegraded := false
+	for i, c := range report.Causes {
+		if c.Degraded {
+			sawDegraded = true
+		} else if sawDegraded {
+			t.Fatalf("certified cause %s at %d after a degraded one", c.Entity, i)
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("skipped candidates should surface as degraded causes")
+	}
+}
+
+func TestWithWorkersMatchesSequential(t *testing.T) {
+	symptom := demoSymptom()
+	seq, err := testSystem(t).Diagnose(symptom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := testSystem(t, WithWorkers(4)).Diagnose(symptom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Causes) != len(par.Causes) {
+		t.Fatalf("worker fan-out changed the result: %d vs %d causes", len(seq.Causes), len(par.Causes))
+	}
+	for i := range seq.Causes {
+		if seq.Causes[i].Entity != par.Causes[i].Entity {
+			t.Fatalf("cause %d differs: %s vs %s", i, seq.Causes[i].Entity, par.Causes[i].Entity)
+		}
+		if math.Abs(seq.Causes[i].Score-par.Causes[i].Score) > 1e-12 {
+			t.Fatalf("cause %d score differs: %v vs %v", i, seq.Causes[i].Score, par.Causes[i].Score)
+		}
+	}
+}
+
+func TestWithSourceRetryAbsorbsChaos(t *testing.T) {
+	db := demoDB(t)
+	inj := chaos.Wrap(db, chaos.Config{Seed: 11, FaultRate: 0.2})
+	cfg := DefaultConfig()
+	cfg.Samples = 300
+	cfg.TrainWindow = 220
+	sys, err := New(db, WithConfig(cfg),
+		WithSource(inj),
+		WithRetry(resilience.Policy{MaxAttempts: 6, Seed: 3}.
+			WithSleep(func(context.Context, time.Duration) error { return nil })))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sys.Diagnose(demoSymptom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Causes) == 0 {
+		t.Fatal("no causes under chaos")
+	}
+	hit := false
+	for _, c := range report.Top(5) {
+		if c.Entity == "crawler" || c.Entity == "flow" {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatalf("crawler/flow should survive chaos in the top causes: %+v", report.Causes)
+	}
+	st := sys.SourceStats()
+	if st.Retried == 0 {
+		t.Fatalf("retry layer absorbed nothing: %+v (injector %+v)", st, inj.Stats())
+	}
+	if report.ReadFailures != 0 && st.Failed == 0 {
+		t.Fatalf("read failures without failed reads: report=%d stats=%+v", report.ReadFailures, st)
+	}
+}
+
+func TestWithBreakerDegradesDeadSource(t *testing.T) {
+	db := demoDB(t)
+	inj := chaos.Wrap(db, chaos.Config{Seed: 7, FaultRate: 1.0})
+	cfg := DefaultConfig()
+	cfg.Samples = 200
+	cfg.TrainWindow = 220
+	sys, err := New(db, WithConfig(cfg),
+		WithSource(inj),
+		WithBreaker(resilience.BreakerConfig{FailureThreshold: 3, Cooldown: time.Hour}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := sys.Diagnose(demoSymptom())
+	if err != nil {
+		t.Fatalf("a dead source should degrade to missing data, not error: %v", err)
+	}
+	if report.ReadFailures == 0 {
+		t.Fatal("every read failed; the report should say so")
+	}
+	st := sys.SourceStats()
+	if st.Rejected == 0 {
+		t.Fatalf("breaker never opened: %+v", st)
+	}
+}
+
+func TestWhatIfContextCancelled(t *testing.T) {
+	sys := testSystem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, _, err := sys.WhatIfContext(ctx, nil, "backend", telemetry.MetricCPU); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
 	}
 }
 
