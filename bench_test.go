@@ -7,6 +7,7 @@
 package murphy
 
 import (
+	"context"
 	"fmt"
 
 	"murphy/internal/regress"
@@ -447,4 +448,82 @@ func BenchmarkAblationCombinedTraining(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Inference fast path: factor cache + early-stopped counterfactual tests
+
+// BenchmarkFastPathDiagnoseParallel times the operator triage loop (online
+// retrain + DiagnoseParallel at the same slice) with the shared-computation
+// fast path off and on. The sample budget is the paper's scale so the
+// sequential tests have room to cut it.
+func BenchmarkFastPathDiagnoseParallel(b *testing.B) {
+	sc, err := microsim.Contention(microsim.DefaultContentionOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := sc.Result.DB
+	g, err := graph.Build(db, []telemetry.EntityID{sc.Symptom.Entity}, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := benchConfig()
+	base.Samples = 4000
+	variants := []struct {
+		name         string
+		early, cache bool
+	}{
+		{"baseline", false, false},
+		{"cache", false, true},
+		{"cache+earlystop", true, true},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			cfg := base
+			if v.early {
+				cfg.EarlyStop = true
+				cfg.EarlyStopConfidence = 0.999
+			}
+			var cache *core.FactorCache
+			if v.cache {
+				cache = core.NewFactorCache(0)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m, err := core.TrainOpt(context.Background(), db, g, cfg, core.TrainOpts{Now: -1, Cache: cache})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := m.DiagnoseParallel(sc.Symptom, 4); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFastPathTable2 runs the harness A/B over Table-2 contention
+// scenarios and reports the measured speedup and equivalence checks as
+// benchmark metrics (1 = identical).
+func BenchmarkFastPathTable2(b *testing.B) {
+	opts := harness.DefaultFastPathOptions()
+	opts.Scenarios = 2
+	var last *harness.FastPathResult
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunFastPath(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	ind := func(ok bool) float64 {
+		if ok {
+			return 1
+		}
+		return 0
+	}
+	b.ReportMetric(last.Speedup, "speedup")
+	b.ReportMetric(ind(last.RankingsIdentical), "rankings-identical")
+	b.ReportMetric(ind(last.Top1Identical), "top1-identical")
+	b.Log("\n" + last.String())
 }

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"murphy"
+	"murphy/internal/graph"
 	"murphy/internal/resilience"
 	"murphy/internal/telemetry"
 )
@@ -32,6 +33,9 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "diagnosis deadline; on expiry the partial ranking is printed (0 = none)")
 		workers  = flag.Int("workers", 1, "parallel candidate evaluators (1 = sequential; results identical)")
 		retries  = flag.Int("retries", 0, "retry attempts for transient telemetry read faults (0 = no retry layer)")
+		cache    = flag.Bool("cache", false, "reuse trained factors across the diagnoses of this run (behavior-preserving)")
+		early    = flag.Float64("earlystop", 0, "early-stop confidence for the counterfactual tests, e.g. 0.999 (0 = full sample budget)")
+		edges    = flag.String("edges", "", "edge-list file overlaying known associations onto the snapshot (\"a -> b\" directed, \"a -- b\" loose)")
 	)
 	flag.Parse()
 	if *snapshot == "" {
@@ -48,6 +52,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *edges != "" {
+		ef, err := os.Open(*edges)
+		if err != nil {
+			fatal(err)
+		}
+		list, err := graph.ParseEdgeList(ef)
+		ef.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if err := graph.ApplyEdgeList(db, list); err != nil {
+			fatal(err)
+		}
+	}
 	cfg := murphy.DefaultConfig()
 	cfg.Samples = *samples
 	cfg.TrainWindow = *window
@@ -59,6 +77,12 @@ func main() {
 	}
 	if *retries > 0 {
 		opts = append(opts, murphy.WithRetry(resilience.Policy{MaxAttempts: *retries}))
+	}
+	if *cache {
+		opts = append(opts, murphy.WithFactorCache(0))
+	}
+	if *early > 0 {
+		opts = append(opts, murphy.WithEarlyStop(*early))
 	}
 	var symptoms []telemetry.Symptom
 	switch {

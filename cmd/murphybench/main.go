@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "comma-separated experiments: fig5c, fig5d, table1, fig6b, fig6c, table2, fig7, fig8a, fig8b, scaling, sensitivity, cycles, all")
+		exp  = flag.String("exp", "all", "comma-separated experiments: fig5c, fig5d, table1, fig6b, fig6c, table2, fig7, fig8a, fig8b, scaling, sensitivity, cycles, fastpath, all")
 		full = flag.Bool("full", false, "use paper-scale parameters (slow)")
 	)
 	flag.Parse()
@@ -161,6 +161,19 @@ func main() {
 			opts.Samples = 5000
 		}
 		res, err := harness.RunSensitivity(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res)
+	}
+	if run("fastpath") {
+		opts := harness.DefaultFastPathOptions()
+		if *full {
+			opts.Scenarios = 12
+			opts.Samples = 5000
+			opts.Rounds = 3
+		}
+		res, err := harness.RunFastPath(opts)
 		if err != nil {
 			fail(err)
 		}

@@ -1,0 +1,80 @@
+package core
+
+import "sync"
+
+// arena is the per-evaluation scratch space of the Gibbs resampler. One
+// counterfactual test runs two resampling passes, each of which previously
+// allocated a fresh chain buffer per touched (entity, metric) plus feature
+// scratch — tens of thousands of short-lived slices per diagnosis. The arena
+// keeps the buffers and hands them back across passes, batches, and (via the
+// model's pool) candidates, with a generation counter standing in for
+// clearing: a buffer whose gen is stale is reinitialized from the start
+// state on first touch, exactly like a fresh allocation.
+//
+// An arena is single-goroutine scratch; DiagnoseParallel workers each take
+// their own from the model's pool.
+type arena struct {
+	gen   int
+	bufs  map[metricRef]*arenaBuf
+	feats [][]float64
+	x     []float64
+}
+
+type arenaBuf struct {
+	gen  int
+	vals []float64
+}
+
+func newArena() *arena {
+	return &arena{bufs: make(map[metricRef]*arenaBuf)}
+}
+
+// reset invalidates every chain buffer (cheaply, by bumping the generation)
+// so the next ensure reinitializes from its start state.
+func (a *arena) reset() { a.gen++ }
+
+// ensure returns the chain buffer for ref, sized n, initializing it from
+// start[ref] if it has not been touched since the last reset. The returned
+// slice is valid until the next reset.
+func (a *arena) ensure(ref metricRef, n int, start map[metricRef]float64) []float64 {
+	b := a.bufs[ref]
+	if b == nil {
+		b = &arenaBuf{gen: -1}
+		a.bufs[ref] = b
+	}
+	if b.gen == a.gen && len(b.vals) == n {
+		return b.vals
+	}
+	if cap(b.vals) < n {
+		b.vals = make([]float64, n)
+	} else {
+		b.vals = b.vals[:n]
+	}
+	v := start[ref]
+	for i := range b.vals {
+		b.vals[i] = v
+	}
+	b.gen = a.gen
+	return b.vals
+}
+
+// featureScratch returns a reusable [][]float64 of length k for gathering
+// feature chains.
+func (a *arena) featureScratch(k int) [][]float64 {
+	if cap(a.feats) < k {
+		a.feats = make([][]float64, k)
+	}
+	return a.feats[:k]
+}
+
+// arenaPool hands out arenas to candidate evaluations; it is shared (by
+// pointer) between a model and its Rebind copies, which is safe because an
+// arena carries no model state.
+type arenaPool struct{ p sync.Pool }
+
+func newArenaPool() *arenaPool {
+	return &arenaPool{p: sync.Pool{New: func() any { return newArena() }}}
+}
+
+func (ap *arenaPool) get() *arena  { return ap.p.Get().(*arena) }
+func (ap *arenaPool) put(a *arena) { a.reset(); ap.p.Put(a) }

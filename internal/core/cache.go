@@ -1,0 +1,147 @@
+package core
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+
+	"murphy/internal/telemetry"
+)
+
+// DefaultFactorCacheCapacity is the entry cap a zero/negative capacity
+// resolves to: roomy enough for a few full enterprise-scale models (a model
+// holds one factor per (entity, metric) pair).
+const DefaultFactorCacheCapacity = 8192
+
+// FactorCache reuses trained per-metric factors across Train calls. Murphy
+// retrains its MRF on every diagnosis (§4.2 online training), but between
+// two diagnoses at the same time slice — an operator triaging several
+// symptoms of one incident, or repeated what-if queries — every factor comes
+// out identical: same ridge fit, same top-B neighbor selection, same
+// historical mean/σ/median/MAD. The cache keys a factor by everything its
+// training depends on (database identity, entity, metric, training window,
+// in-neighborhood, TopB, Lambda) and hands the trained factor back instead
+// of refitting, leaving only the window reads on the hot path.
+//
+// Correctness constraints, enforced by the training pass:
+//   - Only the default ridge trainer is cached (a custom Trainer may be
+//     stateful or nondeterministic).
+//   - Only direct database reads are cached (an interposed telemetry.Source
+//     may fail or degrade nondeterministically; see TrainOpts.Src).
+//   - The database is identified by pointer: a Clone (e.g. a corrupted copy
+//     in the Table-2 experiments) can never hit entries of its original.
+//   - Cached factors are immutable after training and safe to share across
+//     models and DiagnoseParallel workers; the cache itself is mutex-guarded.
+//
+// Entries are evicted LRU once the capacity is reached.
+type FactorCache struct {
+	mu      sync.Mutex
+	cap     int
+	lru     *list.List // of *factorCacheEntry; front = most recent
+	entries map[factorCacheKey]*list.Element
+	hits    uint64
+	misses  uint64
+}
+
+type factorCacheKey struct {
+	db      *telemetry.DB
+	entity  telemetry.EntityID
+	metric  string
+	lo, hi  int
+	topB    int
+	lambda  float64
+	nbrHash uint64
+}
+
+type factorCacheEntry struct {
+	key factorCacheKey
+	f   *factor
+}
+
+// NewFactorCache returns an empty cache holding at most capacity factors
+// (<= 0 uses DefaultFactorCacheCapacity).
+func NewFactorCache(capacity int) *FactorCache {
+	if capacity <= 0 {
+		capacity = DefaultFactorCacheCapacity
+	}
+	return &FactorCache{
+		cap:     capacity,
+		lru:     list.New(),
+		entries: make(map[factorCacheKey]*list.Element),
+	}
+}
+
+func (c *FactorCache) get(k factorCacheKey) (*factor, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.lru.MoveToFront(el)
+	return el.Value.(*factorCacheEntry).f, true
+}
+
+func (c *FactorCache) put(k factorCacheKey, f *factor) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		// A concurrent trainer got here first with an identical factor;
+		// keep the incumbent so every model shares one instance.
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&factorCacheEntry{key: k, f: f})
+	c.entries[k] = el
+	for c.lru.Len() > c.cap {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*factorCacheEntry).key)
+	}
+}
+
+// Len returns the number of cached factors.
+func (c *FactorCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lru.Len()
+}
+
+// FactorCacheStats reports cache effectiveness counters.
+type FactorCacheStats struct {
+	Hits, Misses uint64
+	Entries      int
+	Capacity     int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *FactorCache) Stats() FactorCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return FactorCacheStats{Hits: c.hits, Misses: c.misses, Entries: c.lru.Len(), Capacity: c.cap}
+}
+
+// neighborhoodHash fingerprints the in-neighborhood a factor's feature
+// selection ranges over. It hashes the sorted in-neighbor IDs, so two graphs
+// that select the same neighbor set (regardless of BFS discovery order)
+// produce the same key. Metric sets per neighbor come from the database,
+// which the key already pins by pointer and window.
+func neighborhoodHash(inIDs []telemetry.EntityID) uint64 {
+	sorted := make([]string, len(inIDs))
+	for i, id := range inIDs {
+		sorted[i] = string(id)
+	}
+	sort.Strings(sorted)
+	var h uint64 = 14695981039346656037 // FNV-1a 64
+	for _, s := range sorted {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+		h ^= 0xff // separator so {"ab","c"} != {"a","bc"}
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"murphy/internal/graph"
+	"murphy/internal/regress"
+	"murphy/internal/telemetry"
+)
+
+// sameDiagnosis requires two diagnoses to certify identical causes: same
+// entities, order, p-values, effects, and scores.
+func sameDiagnosis(t *testing.T, label string, a, b *Diagnosis) {
+	t.Helper()
+	if len(a.Causes) != len(b.Causes) {
+		t.Fatalf("%s: %d causes vs %d", label, len(a.Causes), len(b.Causes))
+	}
+	for i := range a.Causes {
+		x, y := a.Causes[i], b.Causes[i]
+		if x.Entity != y.Entity || x.PValue != y.PValue || x.Effect != y.Effect || x.Score != y.Score {
+			t.Fatalf("%s: cause %d: %q p=%v e=%v vs %q p=%v e=%v",
+				label, i, x.Entity, x.PValue, x.Effect, y.Entity, y.PValue, y.Effect)
+		}
+	}
+}
+
+func chainGraph(t *testing.T, db *telemetry.DB) *graph.Graph {
+	t.Helper()
+	g, err := graph.Build(db, []telemetry.EntityID{"back"}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestFactorCacheIdenticalResults retrains with a shared cache and checks
+// (a) the second training is served entirely from the cache and (b) cached
+// factors produce bit-identical diagnoses.
+func TestFactorCacheIdenticalResults(t *testing.T) {
+	db := chainDB(t, 220, 5, 42)
+	g := chainGraph(t, db)
+	cfg := testConfig()
+	sym := telemetry.Symptom{Entity: "back", Metric: telemetry.MetricCPU, High: true}
+
+	plain, err := Train(db, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Diagnose(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewFactorCache(0)
+	for round := 0; round < 2; round++ {
+		m, err := TrainOpt(context.Background(), db, g, cfg, TrainOpts{Now: -1, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		diag, err := m.Diagnose(sym)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameDiagnosis(t, "cached round", want, diag)
+	}
+	st := cache.Stats()
+	if st.Misses == 0 || st.Hits != st.Misses {
+		t.Errorf("second training should hit every factor: %+v", st)
+	}
+	if st.Entries != cache.Len() || st.Entries == 0 {
+		t.Errorf("stats/Len mismatch: %+v vs %d", st, cache.Len())
+	}
+}
+
+// TestFactorCacheSharedConcurrent hammers one cache from many goroutines,
+// each training its own model and diagnosing in parallel — the
+// DiagnoseParallel triage pattern the cache exists for. Meant to run under
+// -race; every diagnosis must equal the uncached baseline.
+func TestFactorCacheSharedConcurrent(t *testing.T) {
+	db := chainDB(t, 220, 5, 42)
+	g := chainGraph(t, db)
+	cfg := testConfig()
+	sym := telemetry.Symptom{Entity: "back", Metric: telemetry.MetricCPU, High: true}
+
+	plain, err := Train(db, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Diagnose(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A tiny capacity forces continuous eviction under contention, which is
+	// the nastiest path: concurrent get/put/evict on shared factors.
+	for _, capacity := range []int{0, 4} {
+		cache := NewFactorCache(capacity)
+		const goroutines = 8
+		var wg sync.WaitGroup
+		errs := make(chan error, goroutines)
+		diags := make([]*Diagnosis, goroutines)
+		for i := 0; i < goroutines; i++ {
+			wg.Add(1)
+			go func(slot int) {
+				defer wg.Done()
+				m, err := TrainOpt(context.Background(), db, g, cfg, TrainOpts{Now: -1, Cache: cache})
+				if err != nil {
+					errs <- err
+					return
+				}
+				diag, err := m.DiagnoseParallel(sym, 4)
+				if err != nil {
+					errs <- err
+					return
+				}
+				diags[slot] = diag
+			}(i)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		for i, diag := range diags {
+			sameDiagnosis(t, "concurrent trainer", want, diag)
+			_ = i
+		}
+		if capacity > 0 && cache.Len() > capacity {
+			t.Errorf("capacity %d exceeded: %d entries", capacity, cache.Len())
+		}
+	}
+}
+
+// TestFactorCacheEviction checks the LRU bound and that an evicting cache
+// stays behavior-preserving (evicted factors are simply retrained).
+func TestFactorCacheEviction(t *testing.T) {
+	db := chainDB(t, 220, 5, 42)
+	g := chainGraph(t, db)
+	cfg := testConfig()
+	sym := telemetry.Symptom{Entity: "back", Metric: telemetry.MetricCPU, High: true}
+
+	plain, err := Train(db, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Diagnose(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewFactorCache(2) // far fewer than the model's factor count
+	for round := 0; round < 3; round++ {
+		m, err := TrainOpt(context.Background(), db, g, cfg, TrainOpts{Now: -1, Cache: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cache.Len() > 2 {
+			t.Fatalf("round %d: %d entries exceed capacity 2", round, cache.Len())
+		}
+		diag, err := m.Diagnose(sym)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameDiagnosis(t, "evicting cache", want, diag)
+	}
+	if st := cache.Stats(); st.Capacity != 2 || st.Entries > 2 {
+		t.Errorf("stats out of bounds: %+v", st)
+	}
+}
+
+// TestFactorCacheBypassed checks the soundness guards: a custom trainer or
+// an interposed source must leave the cache untouched (their factors are not
+// reusable, and a fallible read path must not poison shared state).
+func TestFactorCacheBypassed(t *testing.T) {
+	db := chainDB(t, 220, 5, 42)
+	g := chainGraph(t, db)
+	cfg := testConfig()
+	cache := NewFactorCache(0)
+
+	if _, err := TrainOpt(context.Background(), db, g, cfg, TrainOpts{Now: -1, Cache: cache, Trainer: regress.MLPTrainer(3, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("custom trainer populated the cache: %d entries", cache.Len())
+	}
+	if _, err := TrainOpt(context.Background(), db, g, cfg, TrainOpts{Now: -1, Cache: cache, Src: db}); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); cache.Len() != 0 || st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("interposed source touched the cache: %d entries, %+v", cache.Len(), st)
+	}
+}
+
+// TestFactorCacheDegradedPaths exercises the cache together with the
+// resilience machinery: a panicking candidate evaluator (skip path) and an
+// expiring deadline (partial path) must not corrupt cached factors — a
+// clean retrain+diagnose afterwards still matches the baseline exactly.
+func TestFactorCacheDegradedPaths(t *testing.T) {
+	db := chainDB(t, 220, 5, 42)
+	g := chainGraph(t, db)
+	cfg := testConfig()
+	sym := telemetry.Symptom{Entity: "back", Metric: telemetry.MetricCPU, High: true}
+
+	plain, err := Train(db, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Diagnose(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewFactorCache(0)
+
+	// Skip path: one candidate's evaluation panics mid-diagnosis.
+	m, err := TrainOpt(context.Background(), db, g, cfg, TrainOpts{Now: -1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetEvalHook(func(a telemetry.EntityID) {
+		if a == "decoy" {
+			panic("poisoned evaluator")
+		}
+	})
+	diag, err := m.DiagnoseParallel(sym, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !diag.Partial {
+		t.Fatal("panicking candidate should mark the diagnosis partial")
+	}
+
+	// Partial path: the deadline expires during inference.
+	m2, err := TrainOpt(context.Background(), db, g, cfg, TrainOpts{Now: -1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2.SetEvalHook(func(telemetry.EntityID) { time.Sleep(5 * time.Millisecond) })
+	ctx, cancel := context.WithTimeout(context.Background(), 12*time.Millisecond)
+	defer cancel()
+	if _, err := m2.DiagnoseParallelContext(ctx, sym, 4); err != nil {
+		t.Fatalf("an expiring deadline should degrade, not error: %v", err)
+	}
+
+	// The cache must still serve pristine factors.
+	m3, err := TrainOpt(context.Background(), db, g, cfg, TrainOpts{Now: -1, Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := m3.DiagnoseParallel(sym, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDiagnosis(t, "after degraded runs", want, clean)
+}
+
+// TestEarlyStopDeterministicAndSound checks the early-stop path on the chain
+// fixture: repeated runs are bit-identical (its RNG streams are seeded
+// deterministically), the true cause chain stays certified with the same
+// top-1, and SamplesUsed reflects actual truncation.
+func TestEarlyStopDeterministicAndSound(t *testing.T) {
+	db := chainDB(t, 220, 5, 42)
+	g := chainGraph(t, db)
+	cfg := testConfig()
+	cfg.Samples = 2000
+	sym := telemetry.Symptom{Entity: "back", Metric: telemetry.MetricCPU, High: true}
+
+	plain, err := Train(db, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plain.Diagnose(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fastCfg := cfg
+	fastCfg.EarlyStop = true
+	fastCfg.EarlyStopConfidence = 0.999
+	m, err := Train(db, g, fastCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := m.DiagnoseParallel(sym, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := m.Diagnose(sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameDiagnosis(t, "early-stop determinism (parallel vs sequential)", first, again)
+
+	if len(want.Causes) == 0 || len(first.Causes) == 0 {
+		t.Fatal("both paths should certify causes on the chain incident")
+	}
+	if want.Causes[0].Entity != first.Causes[0].Entity {
+		t.Fatalf("top-1 differs: %q vs %q", want.Causes[0].Entity, first.Causes[0].Entity)
+	}
+	budget := 2 * fastCfg.Samples
+	truncated := false
+	for _, c := range first.Causes {
+		if c.SamplesUsed <= 0 || c.SamplesUsed > budget {
+			t.Errorf("cause %q: SamplesUsed %d outside (0, %d]", c.Entity, c.SamplesUsed, budget)
+		}
+		if c.SamplesUsed < budget {
+			truncated = true
+		}
+	}
+	if !truncated {
+		t.Error("early stop never truncated the budget on a clear-cut incident")
+	}
+	for _, c := range want.Causes {
+		if c.SamplesUsed != budget {
+			t.Errorf("full path: cause %q used %d samples, want %d", c.Entity, c.SamplesUsed, budget)
+		}
+	}
+}

@@ -45,6 +45,21 @@ type Config struct {
 	Seed int64
 	// Timeout bounds a whole Diagnose call (0 = no bound).
 	Timeout time.Duration
+	// EarlyStop enables sequential significance testing: the Monte-Carlo
+	// samples of each counterfactual test are drawn in batches through a
+	// streaming Welch t-test, and sampling stops as soon as the verdict at
+	// Alpha is decided with margin to spare (see stats.StreamingWelch). This
+	// cuts the Samples budget by an order of magnitude for clear-cut
+	// candidates; borderline candidates still run the full budget. The
+	// accept/reject verdicts are the same in practice, but reported p-values
+	// come from the truncated sample.
+	EarlyStop bool
+	// EarlyStopConfidence is how decided a verdict must be before sampling
+	// stops early, as a confidence c in (0.5, 1): both the t statistic
+	// (vs its critical value) and the effect estimate (vs MinEffect) must
+	// sit Φ⁻¹(c) standard deviations past their thresholds. Zero (or out of
+	// range) defaults to 0.999 (≈3.1σ).
+	EarlyStopConfidence float64
 }
 
 // DefaultConfig returns the paper's parameter choices.
@@ -94,6 +109,9 @@ func (c Config) sanitized() Config {
 	}
 	if c.AnomalyZ <= 0 {
 		c.AnomalyZ = d.AnomalyZ
+	}
+	if c.EarlyStopConfidence <= 0.5 || c.EarlyStopConfidence >= 1 {
+		c.EarlyStopConfidence = 0.999
 	}
 	return c
 }

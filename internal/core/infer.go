@@ -25,8 +25,14 @@ type RootCause struct {
 	// (positive = the counterfactual alleviates the symptom).
 	Effect float64
 	// Path is the shortest-path subgraph (candidate → symptom) the
-	// resampler walked, in resampling order.
+	// resampler walked, in resampling order. The slice may be shared with
+	// the model's path cache; treat it as read-only.
 	Path []telemetry.EntityID
+	// SamplesUsed is the total number of Monte-Carlo draws the verdict
+	// consumed across the factual and counterfactual runs. Without early
+	// stopping it is 2×cfg.Samples; with cfg.EarlyStop it shows how much of
+	// the budget the sequential test actually needed.
+	SamplesUsed int
 	// Degraded marks an anomaly-score-only fallback verdict: the candidate's
 	// counterfactual evaluation failed or was cut off, so it was ranked by
 	// anomaly score alone without the significance test (PValue and Effect
@@ -235,7 +241,7 @@ func (m *Model) evaluateCandidate(ctx context.Context, a telemetry.EntityID, sym
 		m.evalHook(a)
 	}
 	d := symptom.Entity
-	path := m.g.ShortestPathSubgraph(a, d)
+	path := m.paths.ShortestPathSubgraph(a, d)
 	if path == nil {
 		return RootCause{}, false, nil // A cannot influence D in the graph
 	}
@@ -248,39 +254,46 @@ func (m *Model) evaluateCandidate(ctx context.Context, a telemetry.EntityID, sym
 	if cf == nil {
 		return RootCause{}, false, nil // nothing to perturb
 	}
-	rng := rand.New(rand.NewSource(m.cfg.Seed ^ int64(hashID(a))<<1 ^ int64(hashID(d))))
-	d1, err := m.resampleSymptom(ctx, path, cf, symRef, rng) // counterfactual start
-	if err != nil {
-		return RootCause{}, false, err
-	}
-	d2, err := m.resampleSymptom(ctx, path, m.current, symRef, rng) // factual start
-	if err != nil {
-		return RootCause{}, false, err
-	}
-
 	alt := stats.Less // high symptom: counterfactual should be lower
 	if !symptom.High {
 		alt = stats.Greater
 	}
-	res, err := stats.WelchTTest(d1, d2, alt)
-	if err != nil {
-		return RootCause{}, false, nil
-	}
-	shift := stats.Mean(d2) - stats.Mean(d1) // >0 when counterfactual lowers D
-	if !symptom.High {
-		shift = -shift
-	}
+	ar := m.arenas.get()
+	defer m.arenas.put(ar)
+
 	scale := symFactor.hstd
 	if scale == 0 {
 		scale = 1
 	}
-	effect := shift / scale
+	sign := 1.0 // orient shift so >0 means "counterfactual moves D toward normal"
+	if !symptom.High {
+		sign = -1
+	}
+	var (
+		res     stats.TTestResult
+		shift   float64 // mean(factual) - mean(counterfactual)
+		used    int
+		statErr error
+	)
+	if m.cfg.EarlyStop {
+		res, shift, used, statErr = m.sampleEarlyStop(ctx, a, d, path, cf, symRef, alt, ar, sign/scale)
+	} else {
+		res, shift, used, statErr = m.sampleFull(ctx, a, d, path, cf, symRef, alt, ar)
+	}
+	if statErr != nil {
+		if errors.Is(statErr, stats.ErrInsufficientData) {
+			return RootCause{}, false, nil
+		}
+		return RootCause{}, false, statErr
+	}
+	effect := sign * shift / scale
 	rc := RootCause{
-		Entity: a,
-		Score:  m.AnomalyScore(a),
-		PValue: res.P,
-		Effect: effect,
-		Path:   path,
+		Entity:      a,
+		Score:       m.AnomalyScore(a),
+		PValue:      res.P,
+		Effect:      effect,
+		Path:        path,
+		SamplesUsed: used,
 	}
 	if res.P > m.cfg.Alpha || effect < m.cfg.MinEffect {
 		// The verdict is still returned populated so callers can inspect
@@ -288,6 +301,109 @@ func (m *Model) evaluateCandidate(ctx context.Context, a telemetry.EntityID, sym
 		return rc, false, nil
 	}
 	return rc, true, nil
+}
+
+// sampleFull is the paper's fixed-budget test: cfg.Samples counterfactual
+// draws, cfg.Samples factual draws (one shared RNG stream, matching the
+// original sequential implementation bit-for-bit), one batch t-test.
+func (m *Model) sampleFull(ctx context.Context, a, d telemetry.EntityID, path []telemetry.EntityID, cf map[metricRef]float64, symRef metricRef, alt stats.Alternative, ar *arena) (stats.TTestResult, float64, int, error) {
+	n := m.cfg.Samples
+	rng := rand.New(rand.NewSource(m.cfg.Seed ^ int64(hashID(a))<<1 ^ int64(hashID(d))))
+	out1, err := m.resampleSymptom(ctx, path, cf, symRef, rng, ar, n) // counterfactual start
+	if err != nil {
+		return stats.TTestResult{}, 0, 0, err
+	}
+	d1 := append([]float64(nil), out1...)                                  // the next pass reuses the arena
+	d2, err := m.resampleSymptom(ctx, path, m.current, symRef, rng, ar, n) // factual start
+	if err != nil {
+		return stats.TTestResult{}, 0, 0, err
+	}
+	res, err := stats.WelchTTest(d1, d2, alt)
+	if err != nil {
+		return stats.TTestResult{}, 0, 0, err
+	}
+	return res, stats.Mean(d2) - stats.Mean(d1), 2 * n, nil
+}
+
+// earlyStopBatch is the draw granularity of the sequential test; the verdict
+// is re-examined after every counterfactual+factual batch pair once
+// earlyStopMinSamples draws per side have accumulated.
+const (
+	earlyStopBatch      = 256
+	earlyStopMinSamples = 512
+)
+
+// sampleEarlyStop is the sequential fast path: the two Monte-Carlo runs are
+// drawn in interleaved batches through a streaming Welch t-test, stopping as
+// soon as the candidate's verdict is decided with zConf = Φ⁻¹(confidence)
+// standard deviations of margin (or the full cfg.Samples budget is spent).
+// The accept criterion has two arms (p ≤ Alpha AND effect ≥ MinEffect), so
+// there are three decisive exits:
+//
+//   - the effect is decisively below MinEffect → rejected, whatever p says
+//     (this is what stops near-null candidates: their t statistic hovers in
+//     the undecided band forever, but their effect pins to ~0 quickly);
+//   - p is decisively above Alpha → rejected;
+//   - p is decisively below Alpha AND the effect is decisively above
+//     MinEffect → accepted.
+//
+// Each run gets its own deterministic RNG stream so the draws do not depend
+// on where the other run stopped.
+//
+// effScale maps a raw mean shift mean(factual)-mean(counterfactual) to the
+// signed effect the accept criterion uses (±1/hstd of the symptom factor).
+func (m *Model) sampleEarlyStop(ctx context.Context, a, d telemetry.EntityID, path []telemetry.EntityID, cf map[metricRef]float64, symRef metricRef, alt stats.Alternative, ar *arena, effScale float64) (stats.TTestResult, float64, int, error) {
+	n := m.cfg.Samples
+	seed := m.cfg.Seed ^ int64(hashID(a))<<1 ^ int64(hashID(d))
+	rngCF := rand.New(rand.NewSource(seed))
+	rngF := rand.New(rand.NewSource(seed ^ 0x5e9c3779b97f4a7d)) // independent stream
+	zConf := stats.NormalQuantile(m.cfg.EarlyStopConfidence)
+	var st stats.StreamingWelch
+	min := earlyStopMinSamples
+	if min > n {
+		min = n
+	}
+	for drawn := 0; drawn < n; {
+		k := earlyStopBatch
+		if k > n-drawn {
+			k = n - drawn
+		}
+		out, err := m.resampleSymptom(ctx, path, cf, symRef, rngCF, ar, k)
+		if err != nil {
+			return stats.TTestResult{}, 0, 0, err
+		}
+		st.A.AddAll(out)
+		out, err = m.resampleSymptom(ctx, path, m.current, symRef, rngF, ar, k)
+		if err != nil {
+			return stats.TTestResult{}, 0, 0, err
+		}
+		st.B.AddAll(out)
+		drawn += k
+		if drawn < min {
+			continue
+		}
+		eff := effScale * (st.B.Mean() - st.A.Mean())
+		na, nb := float64(st.A.Count()), float64(st.B.Count())
+		effSE := math.Abs(effScale) * math.Sqrt(st.A.Variance()/na+st.B.Variance()/nb)
+		if eff+zConf*effSE < m.cfg.MinEffect {
+			break // effect decisively below MinEffect: rejected whatever p says
+		}
+		sig, decided := st.Decisive(alt, m.cfg.Alpha, zConf)
+		if !decided {
+			continue
+		}
+		if !sig {
+			break // p decisively above Alpha: rejected no matter the effect
+		}
+		if eff-zConf*effSE > m.cfg.MinEffect {
+			break // both arms of the accept criterion are decided
+		}
+	}
+	res, err := st.Test(alt)
+	if err != nil {
+		return stats.TTestResult{}, 0, 0, err
+	}
+	return res, st.B.Mean() - st.A.Mean(), st.A.Count() + st.B.Count(), nil
 }
 
 // counterfactualState returns a copy of the current state with candidate A's
@@ -348,33 +464,23 @@ func (m *Model) moveTowardNormal(ref metricRef, z float64) float64 {
 // resampleSymptom runs the Gibbs-variant resampler: starting from the given
 // state, it resamples every metric of every node on the path (ordered by
 // distance from the candidate), repeats for cfg.GibbsRounds rounds, and
-// returns cfg.Samples Monte-Carlo draws of the symptom metric. The candidate
-// (first node) is pinned: its state is the perturbation under test.
+// returns n Monte-Carlo draws of the symptom metric. The candidate (first
+// node) is pinned: its state is the perturbation under test.
 //
 // All chains are advanced in lockstep so the per-factor feature assembly is
-// amortized across samples. The context is checked once per (round, node)
-// step — frequent enough that an expired deadline stops a long resampling
-// within a small fraction of its runtime.
-func (m *Model) resampleSymptom(ctx context.Context, path []telemetry.EntityID, start map[metricRef]float64, symRef metricRef, rng *rand.Rand) ([]float64, error) {
-	n := m.cfg.Samples
-	// chainState[ref][i] is the value of ref in chain i.
-	chainState := make(map[metricRef][]float64)
-	ensure := func(ref metricRef) []float64 {
-		vs, ok := chainState[ref]
-		if !ok {
-			vs = make([]float64, n)
-			v := start[ref]
-			for i := range vs {
-				vs[i] = v
-			}
-			chainState[ref] = vs
-		}
-		return vs
-	}
+// amortized across samples, and all chain state lives in the arena, whose
+// buffers are recycled across passes and candidates. The returned slice is
+// arena-owned: it is valid until the arena's next pass (callers either
+// consume it immediately or copy). The context is checked once per
+// (round, node) step — frequent enough that an expired deadline stops a
+// long resampling within a small fraction of its runtime.
+func (m *Model) resampleSymptom(ctx context.Context, path []telemetry.EntityID, start map[metricRef]float64, symRef metricRef, rng *rand.Rand, ar *arena, n int) ([]float64, error) {
+	ar.reset() // invalidate chain state of any previous pass
 	// Pre-touch the symptom ref so a degenerate path still yields samples.
-	ensure(symRef)
+	ar.ensure(symRef, n, start)
 
-	x := make([]float64, 0, 16)
+	x := ar.x[:0]
+	defer func() { ar.x = x[:0] }()
 	for round := 0; round < m.cfg.GibbsRounds; round++ {
 		for pi, id := range path {
 			if err := ctx.Err(); err != nil {
@@ -389,12 +495,12 @@ func (m *Model) resampleSymptom(ctx context.Context, path []telemetry.EntityID, 
 				if f == nil {
 					continue
 				}
-				out := ensure(ref)
-				// Gather feature chains (ensuring initializes any feature
+				out := ar.ensure(ref, n, start)
+				// Gather feature chains (ensure initializes any feature
 				// not yet materialized from the start state).
-				featChains := make([][]float64, len(f.features))
+				featChains := ar.featureScratch(len(f.features))
 				for j, fr := range f.features {
-					featChains[j] = ensure(fr)
+					featChains[j] = ar.ensure(fr, n, start)
 				}
 				noise := f.model.ResidualStd()
 				for i := 0; i < n; i++ {
@@ -411,9 +517,7 @@ func (m *Model) resampleSymptom(ctx context.Context, path []telemetry.EntityID, 
 			}
 		}
 	}
-	res := make([]float64, n)
-	copy(res, chainState[symRef])
-	return res, nil
+	return ar.ensure(symRef, n, start), nil
 }
 
 // hashID gives a stable small hash of an entity ID for seeding.

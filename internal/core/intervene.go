@@ -28,7 +28,7 @@ func (m *Model) PredictUnderIntervention(overrides map[telemetry.EntityID]map[st
 	reached := false
 	for src := range overrides {
 		pinned[src] = true
-		path := m.g.ShortestPathSubgraph(src, target)
+		path := m.paths.ShortestPathSubgraph(src, target)
 		if path == nil {
 			continue
 		}

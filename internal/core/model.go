@@ -91,6 +91,14 @@ type Model struct {
 	// It is a fault-injection seam: a hook that panics or stalls models a
 	// poisoned candidate evaluator. Production diagnoses leave it nil.
 	evalHook func(telemetry.EntityID)
+	// paths memoizes shortest-path subgraphs keyed (candidate, symptom):
+	// every candidate of one diagnosis shares the symptom's reverse BFS, and
+	// repeated diagnoses reuse whole subgraphs. Shared (by pointer) with
+	// Rebind copies — the graph is immutable after Build.
+	paths *graph.SubgraphCache
+	// arenas pools the Gibbs resampler's scratch buffers across candidate
+	// evaluations and DiagnoseParallel workers.
+	arenas *arenaPool
 }
 
 // ReadFailure records one training-window read that failed after the
@@ -117,13 +125,13 @@ func (m *Model) SetEvalHook(h func(telemetry.EntityID)) { m.evalHook = h }
 // slice. Murphy never keeps pre-trained models: this runs on every
 // diagnosis call so the window includes in-incident points.
 func Train(db *telemetry.DB, g *graph.Graph, cfg Config) (*Model, error) {
-	return trainAt(context.Background(), db, nil, g, cfg, db.Len()-1, nil)
+	return TrainOpt(context.Background(), db, g, cfg, TrainOpts{Now: -1})
 }
 
 // TrainContext is Train with cooperative cancellation: training aborts with
 // the context's error as soon as the context is done.
 func TrainContext(ctx context.Context, db *telemetry.DB, g *graph.Graph, cfg Config) (*Model, error) {
-	return trainAt(ctx, db, nil, g, cfg, db.Len()-1, nil)
+	return TrainOpt(ctx, db, g, cfg, TrainOpts{Now: -1})
 }
 
 // TrainSource is TrainContext with the training-window reads routed through
@@ -134,20 +142,58 @@ func TrainContext(ctx context.Context, db *telemetry.DB, g *graph.Graph, cfg Con
 // the model (ReadFailures). db remains the handle used for Rebind and
 // explanation lookups.
 func TrainSource(ctx context.Context, db *telemetry.DB, src telemetry.Source, g *graph.Graph, cfg Config) (*Model, error) {
-	return trainAt(ctx, db, src, g, cfg, db.Len()-1, nil)
+	return TrainOpt(ctx, db, g, cfg, TrainOpts{Now: -1, Src: src})
 }
 
 // TrainAt fits the MRF with the training window ending at slice `now`
 // (inclusive). A nil trainer uses ridge regression with cfg.Lambda — the
 // paper's production choice; the Fig 8a comparison passes other trainers.
 func TrainAt(db *telemetry.DB, g *graph.Graph, cfg Config, now int, trainer regress.Trainer) (*Model, error) {
-	return trainAt(context.Background(), db, nil, g, cfg, now, trainer)
+	return trainAt(context.Background(), db, g, cfg, TrainOpts{Now: now, Trainer: trainer})
 }
 
-// trainAt is the shared training pass. src == nil reads the database
-// directly (infallible); a non-nil src interposes the resilient/faulty read
-// path, with per-series degradation on unrecoverable errors.
-func trainAt(ctx context.Context, db *telemetry.DB, src telemetry.Source, g *graph.Graph, cfg Config, now int, trainer regress.Trainer) (*Model, error) {
+// TrainOpts collects the optional knobs of a training pass; the zero value
+// (with Now set) reproduces TrainContext.
+type TrainOpts struct {
+	// Src interposes the resilient/faulty read path on the training-window
+	// reads; nil reads the database directly (infallible).
+	Src telemetry.Source
+	// Now is the diagnosis time slice (training window endpoint, inclusive);
+	// negative means the database's last slice.
+	Now int
+	// Trainer overrides the per-factor regression model; nil uses ridge with
+	// cfg.Lambda (the paper's production choice).
+	Trainer regress.Trainer
+	// Cache, when non-nil, reuses trained factors across Train calls (see
+	// FactorCache). It is consulted only on the default-trainer, direct-read
+	// path; a custom Trainer or an interposed Src trains from scratch.
+	Cache *FactorCache
+}
+
+// TrainOpt is the general training entry point: TrainContext plus the
+// optional knobs of TrainOpts (interposed source, window endpoint, custom
+// trainer, shared factor cache).
+func TrainOpt(ctx context.Context, db *telemetry.DB, g *graph.Graph, cfg Config, opts TrainOpts) (*Model, error) {
+	if opts.Now < 0 {
+		opts.Now = db.Len() - 1
+	}
+	return trainAt(ctx, db, g, cfg, opts)
+}
+
+// trainAt is the shared training pass. opts.Src == nil reads the database
+// directly (infallible); a non-nil source interposes the resilient/faulty
+// read path, with per-series degradation on unrecoverable errors.
+func trainAt(ctx context.Context, db *telemetry.DB, g *graph.Graph, cfg Config, opts TrainOpts) (*Model, error) {
+	src, trainer := opts.Src, opts.Trainer
+	now := opts.Now
+	// The cache stores complete trained factors; it is only sound when the
+	// factor is a pure function of the cache key, which requires the default
+	// (deterministic, stateless) trainer and the direct (infallible)
+	// database read path.
+	cache := opts.Cache
+	if trainer != nil || src != nil {
+		cache = nil
+	}
 	cfg = cfg.sanitized()
 	if db.Len() == 0 {
 		return nil, fmt.Errorf("core: empty database")
@@ -167,6 +213,8 @@ func trainAt(ctx context.Context, db *telemetry.DB, src telemetry.Source, g *gra
 		metricsOf: make(map[telemetry.EntityID][]string),
 		trainer:   trainer,
 		now:       now,
+		paths:     graph.NewSubgraphCache(g),
+		arenas:    newArenaPool(),
 	}
 	m.trainHi = now + 1
 	m.trainLo = m.trainHi - cfg.TrainWindow
@@ -246,12 +294,18 @@ func trainAt(ctx context.Context, db *telemetry.DB, src telemetry.Source, g *gra
 		}
 	}
 
-	// Fit one factor per (entity, metric).
+	// Fit one factor per (entity, metric), consulting the factor cache when
+	// one is in play: a hit hands back the immutable trained factor and
+	// skips the correlation ranking, robust statistics, and the ridge fit.
 	for _, id := range g.IDs() {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: training cancelled: %w", err)
 		}
 		inIDs := g.InIDs(id)
+		var nbrHash uint64
+		if cache != nil {
+			nbrHash = neighborhoodHash(inIDs)
+		}
 		// Collect all candidate neighbor metric refs.
 		var cand []metricRef
 		for _, nb := range inIDs {
@@ -261,6 +315,18 @@ func trainAt(ctx context.Context, db *telemetry.DB, src telemetry.Source, g *gra
 		}
 		for _, name := range m.metricsOf[id] {
 			ref := metricRef{id, name}
+			var ckey factorCacheKey
+			if cache != nil {
+				ckey = factorCacheKey{
+					db: db, entity: id, metric: name,
+					lo: m.trainLo, hi: m.trainHi,
+					topB: cfg.TopB, lambda: cfg.Lambda, nbrHash: nbrHash,
+				}
+				if f, ok := cache.get(ckey); ok {
+					m.factors[ref] = f
+					continue
+				}
+			}
 			y := windows[ref]
 			hm, hs := stats.MeanStd(y)
 			f := &factor{target: ref, hmean: hm, hstd: hs}
@@ -320,6 +386,9 @@ func trainAt(ctx context.Context, db *telemetry.DB, src telemetry.Source, g *gra
 			}
 			f.model = model
 			m.factors[ref] = f
+			if cache != nil {
+				cache.put(ckey, f)
+			}
 		}
 	}
 	return m, nil

@@ -267,8 +267,14 @@ func (g *Graph) ShortestPathSubgraph(a, d telemetry.EntityID) []telemetry.Entity
 	if ai == di {
 		return []telemetry.EntityID{a}
 	}
+	return g.shortestPathWith(ai, di, g.bfsDist(di, false))
+}
+
+// shortestPathWith is the shared core of ShortestPathSubgraph: it takes the
+// reverse-BFS distance field toD (distance of every node to di), which a
+// SubgraphCache computes once per symptom and reuses across candidates.
+func (g *Graph) shortestPathWith(ai, di int, toD []int) []telemetry.EntityID {
 	fromA := g.bfsDist(ai, true)
-	toD := g.bfsDist(di, false)
 	total := fromA[di]
 	if total == -1 {
 		return nil

@@ -1,0 +1,77 @@
+package graph
+
+import (
+	"sync"
+
+	"murphy/internal/telemetry"
+)
+
+// SubgraphCache memoizes ShortestPathSubgraph results for one (immutable)
+// graph. A diagnosis evaluates every candidate against the same symptom, so
+// the reverse BFS from the symptom is computed once and shared, and the
+// per-(candidate, symptom) subgraph is computed at most once even when the
+// same model serves many Diagnose calls.
+//
+// The cache is safe for concurrent use (DiagnoseParallel workers share one).
+// Returned slices are shared between callers and the cache: treat them as
+// read-only.
+type SubgraphCache struct {
+	g  *Graph
+	mu sync.RWMutex
+	// rev[di] is the reverse-BFS distance field toward node di.
+	rev map[int][]int
+	// paths[(ai,di)] is the memoized subgraph; nil-but-present means
+	// "unreachable", so negative results are cached too.
+	paths map[[2]int][]telemetry.EntityID
+}
+
+// NewSubgraphCache returns an empty cache over g. The graph must not be
+// mutated while the cache is in use (Graph has no mutating methods after
+// Build, so this holds by construction).
+func NewSubgraphCache(g *Graph) *SubgraphCache {
+	return &SubgraphCache{
+		g:     g,
+		rev:   make(map[int][]int),
+		paths: make(map[[2]int][]telemetry.EntityID),
+	}
+}
+
+// ShortestPathSubgraph is Graph.ShortestPathSubgraph with memoization keyed
+// by (candidate, symptom).
+func (c *SubgraphCache) ShortestPathSubgraph(a, d telemetry.EntityID) []telemetry.EntityID {
+	ai, ok := c.g.index[a]
+	if !ok {
+		return nil
+	}
+	di, ok := c.g.index[d]
+	if !ok {
+		return nil
+	}
+	if ai == di {
+		return []telemetry.EntityID{a}
+	}
+	key := [2]int{ai, di}
+	c.mu.RLock()
+	path, hit := c.paths[key]
+	toD := c.rev[di]
+	c.mu.RUnlock()
+	if hit {
+		return path
+	}
+	if toD == nil {
+		toD = c.g.bfsDist(di, false)
+	}
+	path = c.g.shortestPathWith(ai, di, toD)
+	c.mu.Lock()
+	c.rev[di] = toD
+	c.paths[key] = path
+	c.mu.Unlock()
+	return path
+}
+
+// Len returns the number of memoized (candidate, symptom) entries.
+func (c *SubgraphCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.paths)
+}

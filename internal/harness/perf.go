@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -265,4 +266,186 @@ func RunCycleStats(gen enterprise.GenOptions) (*CycleStatsResult, error) {
 func (r *CycleStatsResult) String() string {
 	return fmt.Sprintf("§2.2 — incident graph: %d entities, %d edges, %d 2-cycles, %d 3-cycles, %d/%d VMs on a cycle\n",
 		r.Entities, r.Edges, r.Cycles2, r.Cycles3, r.VMsCyclic, r.VMsTotal)
+}
+
+// FastPathOptions parameterizes the shared-computation fast-path A/B
+// measurement: the Table-2 contention workload diagnosed with the classic
+// fixed-budget inference versus the factor cache + early-stopped
+// counterfactual tests, both fanned out over DiagnoseParallel workers.
+type FastPathOptions struct {
+	// Scenarios is the number of contention incidents.
+	Scenarios int
+	// Steps is the emulation length per scenario.
+	Steps int
+	// Samples / TrainWindow configure Murphy.
+	Samples, TrainWindow int
+	// Workers is the DiagnoseParallel fan-out.
+	Workers int
+	// Rounds is how many times each incident is diagnosed at the same
+	// slice (an operator re-triaging: this is what the factor cache
+	// amortizes — every round after the first hits cached factors).
+	Rounds int
+	// Confidence is the early-stop confidence (0 uses the 0.999 default).
+	Confidence float64
+	// Seed drives scenario generation.
+	Seed int64
+}
+
+// DefaultFastPathOptions returns the configuration the PR's speedup target
+// is stated against.
+func DefaultFastPathOptions() FastPathOptions {
+	return FastPathOptions{
+		Scenarios: 4, Steps: 300, Samples: 4000, TrainWindow: 280,
+		Workers: 4, Rounds: 2, Confidence: 0.999, Seed: 1,
+	}
+}
+
+// FastPathResult carries the A/B timings and the equivalence checks.
+type FastPathResult struct {
+	Opts FastPathOptions
+	// Diagnoses is Scenarios * Rounds.
+	Diagnoses int
+	// BaselineTime / CacheOnlyTime / FastTime are total train+diagnose
+	// wall times across all diagnoses for: the classic path, the factor
+	// cache with full-budget sampling, and cache + early stop.
+	BaselineTime, CacheOnlyTime, FastTime time.Duration
+	// Speedup is BaselineTime / FastTime.
+	Speedup float64
+	// RankingsIdentical is whether the cache-only ranked cause lists (and
+	// their p-values) are bit-identical to the baseline's, per diagnosis.
+	RankingsIdentical bool
+	// Top1Identical is whether the fast path's top-ranked cause matches
+	// the baseline's in every diagnosis.
+	Top1Identical bool
+	// BaselineSamples / FastSamples total the Monte-Carlo draws spent in
+	// certified causes.
+	BaselineSamples, FastSamples int
+	// CacheStats aggregates the factor cache counters of the fast runs.
+	CacheStats core.FactorCacheStats
+}
+
+// RunFastPath measures the inference fast path against the classic
+// fixed-budget implementation on uncorrupted Table-2 contention scenarios.
+func RunFastPath(opts FastPathOptions) (*FastPathResult, error) {
+	if opts.Scenarios <= 0 || opts.Rounds <= 0 {
+		return nil, fmt.Errorf("harness: need at least one scenario and round")
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 1
+	}
+	baseCfg := murphyConfig(opts.Samples, opts.TrainWindow)
+	fastCfg := baseCfg
+	fastCfg.EarlyStop = true
+	fastCfg.EarlyStopConfidence = opts.Confidence
+	res := &FastPathResult{Opts: opts, RankingsIdentical: true, Top1Identical: true}
+	kinds := []microsim.FaultKind{microsim.FaultCPU, microsim.FaultMem, microsim.FaultDisk}
+	for v := 0; v < opts.Scenarios; v++ {
+		sc, err := microsim.Contention(microsim.ContentionOptions{
+			Topo: "hotel", Steps: opts.Steps, PriorIncidents: 4,
+			Kind: kinds[v%len(kinds)], Intensity: 0.5, Seed: opts.Seed + int64(v),
+		})
+		if err != nil {
+			return nil, err
+		}
+		db := sc.Result.DB
+		g, err := graph.Build(db, []telemetry.EntityID{sc.Symptom.Entity}, -1)
+		if err != nil {
+			return nil, err
+		}
+		run := func(cfg core.Config, cache *core.FactorCache) ([]*core.Diagnosis, time.Duration, error) {
+			var out []*core.Diagnosis
+			t0 := time.Now()
+			for r := 0; r < opts.Rounds; r++ {
+				model, err := core.TrainOpt(context.Background(), db, g, cfg, core.TrainOpts{Now: -1, Cache: cache})
+				if err != nil {
+					return nil, 0, err
+				}
+				diag, err := model.DiagnoseParallel(sc.Symptom, opts.Workers)
+				if err != nil {
+					return nil, 0, err
+				}
+				out = append(out, diag)
+			}
+			return out, time.Since(t0), nil
+		}
+		base, dt, err := run(baseCfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		res.BaselineTime += dt
+		cached, dt, err := run(baseCfg, core.NewFactorCache(0))
+		if err != nil {
+			return nil, err
+		}
+		res.CacheOnlyTime += dt
+		fastCache := core.NewFactorCache(0)
+		fast, dt, err := run(fastCfg, fastCache)
+		if err != nil {
+			return nil, err
+		}
+		res.FastTime += dt
+		st := fastCache.Stats()
+		res.CacheStats.Hits += st.Hits
+		res.CacheStats.Misses += st.Misses
+		res.CacheStats.Entries += st.Entries
+		res.CacheStats.Capacity = st.Capacity
+		for r := 0; r < opts.Rounds; r++ {
+			res.Diagnoses++
+			if !sameCauses(base[r], cached[r]) {
+				res.RankingsIdentical = false
+			}
+			if top1(base[r]) != top1(fast[r]) {
+				res.Top1Identical = false
+			}
+			for _, c := range base[r].Causes {
+				res.BaselineSamples += c.SamplesUsed
+			}
+			for _, c := range fast[r].Causes {
+				res.FastSamples += c.SamplesUsed
+			}
+		}
+	}
+	if res.FastTime > 0 {
+		res.Speedup = float64(res.BaselineTime) / float64(res.FastTime)
+	}
+	return res, nil
+}
+
+// sameCauses reports whether two diagnoses certified the same causes, in the
+// same order, with identical p-values and effects.
+func sameCauses(a, b *core.Diagnosis) bool {
+	if len(a.Causes) != len(b.Causes) {
+		return false
+	}
+	for i := range a.Causes {
+		x, y := a.Causes[i], b.Causes[i]
+		if x.Entity != y.Entity || x.PValue != y.PValue || x.Effect != y.Effect || x.Score != y.Score {
+			return false
+		}
+	}
+	return true
+}
+
+// top1 returns the top-ranked certified cause ("" when none passed).
+func top1(d *core.Diagnosis) telemetry.EntityID {
+	if len(d.Causes) == 0 {
+		return ""
+	}
+	return d.Causes[0].Entity
+}
+
+// String prints the fast-path A/B table.
+func (r *FastPathResult) String() string {
+	var b strings.Builder
+	b.WriteString("inference fast path — factor cache + early-stopped counterfactual tests\n")
+	fmt.Fprintf(&b, "  workload: %d contention scenarios × %d diagnoses, %d samples, %d workers\n",
+		r.Opts.Scenarios, r.Opts.Rounds, r.Opts.Samples, r.Opts.Workers)
+	fmt.Fprintf(&b, "  %-28s %12s\n", "baseline (classic)", r.BaselineTime.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  %-28s %12s\n", "factor cache only", r.CacheOnlyTime.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  %-28s %12s\n", "cache + early stop", r.FastTime.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  speedup %.1fx   rankings identical (cache): %v   top-1 identical (fast): %v\n",
+		r.Speedup, r.RankingsIdentical, r.Top1Identical)
+	fmt.Fprintf(&b, "  MC draws in causes: %d -> %d   cache: %d hits / %d misses\n",
+		r.BaselineSamples, r.FastSamples, r.CacheStats.Hits, r.CacheStats.Misses)
+	return b.String()
 }

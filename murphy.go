@@ -62,6 +62,9 @@ type System struct {
 	breaker *resilience.Breaker
 	rsrc    *resilience.Source
 	workers int
+	// cache, when set, carries trained factors across the Diagnose calls of
+	// this System (and any other System sharing the cache).
+	cache *core.FactorCache
 }
 
 // Option customizes a System.
@@ -125,6 +128,48 @@ func WithBreaker(cfg resilience.BreakerConfig) Option {
 // independently seeded samplers).
 func WithWorkers(n int) Option {
 	return func(s *System) { s.workers = n }
+}
+
+// WithFactorCache reuses trained factors across this System's Diagnose and
+// WhatIf calls: Murphy retrains its MRF online on every call, but between
+// two calls at the same time slice every factor comes out identical, so an
+// operator triaging several symptoms of one incident pays the ridge fits
+// and feature selection only once. capacity caps the cached factor count
+// (<= 0 uses the default); entries are evicted LRU. Behavior-preserving:
+// rankings are bit-identical with the cache on or off. The cache is bypassed
+// automatically when WithSource/WithRetry/WithBreaker interpose a fallible
+// read path (see core.FactorCache for why).
+func WithFactorCache(capacity int) Option {
+	return func(s *System) { s.cache = core.NewFactorCache(capacity) }
+}
+
+// WithSharedFactorCache installs an existing cache, so several Systems over
+// the same database (e.g. one per symptom seed set) share trained factors.
+func WithSharedFactorCache(c *core.FactorCache) Option {
+	return func(s *System) { s.cache = c }
+}
+
+// WithEarlyStop enables sequential significance testing at the given
+// confidence (0 uses the 0.999 default): each counterfactual test draws its
+// Monte-Carlo samples in batches and stops as soon as the verdict at Alpha
+// is decided with margin to spare, cutting the sample budget by an order of
+// magnitude for clear-cut candidates. Verdicts match the full-budget run in
+// practice (the margin keeps borderline candidates sampling), but reported
+// p-values come from the truncated sample. Apply after WithConfig.
+func WithEarlyStop(confidence float64) Option {
+	return func(s *System) {
+		s.cfg.EarlyStop = true
+		s.cfg.EarlyStopConfidence = confidence
+	}
+}
+
+// FactorCacheStats reports the factor cache's hit/miss counters (zero-valued
+// when WithFactorCache was not used).
+func (s *System) FactorCacheStats() core.FactorCacheStats {
+	if s.cache == nil {
+		return core.FactorCacheStats{}
+	}
+	return s.cache.Stats()
 }
 
 // New builds a diagnosis session over a monitoring database.
@@ -276,11 +321,13 @@ func (s *System) DiagnoseContext(ctx context.Context, symptom telemetry.Symptom)
 
 // train fits the MRF through the configured read path.
 func (s *System) train(ctx context.Context) (*core.Model, error) {
-	if plain, ok := s.src.(*telemetry.DB); ok && plain == s.db {
-		// No interposed source: keep the direct (infallible) read path.
-		return core.TrainContext(ctx, s.db, s.g, s.cfg)
+	opts := core.TrainOpts{Now: -1, Cache: s.cache}
+	if plain, ok := s.src.(*telemetry.DB); !ok || plain != s.db {
+		// An interposed source (chaos, resilience, remote): route reads
+		// through it. The factor cache is bypassed on this path.
+		opts.Src = s.src
 	}
-	return core.TrainSource(ctx, s.db, s.src, s.g, s.cfg)
+	return core.TrainOpt(ctx, s.db, s.g, s.cfg, opts)
 }
 
 // WhatIf answers the §7 performance-reasoning question: if the given entity
