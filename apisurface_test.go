@@ -1,0 +1,161 @@
+package murphy
+
+// The public API surface is pinned to a golden file: any change to an
+// exported name, signature, or struct field in package murphy must show up
+// as a reviewed diff in testdata/api_surface.golden. Regenerate with
+//
+//	UPDATE_API_SURFACE=1 go test -run TestAPISurface .
+//
+// Removing or changing an existing line is a breaking change and needs a
+// SchemaVersion / deprecation story; adding lines is fine.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+const apiSurfaceGolden = "testdata/api_surface.golden"
+
+func TestAPISurface(t *testing.T) {
+	got := describeAPISurface(t)
+	if os.Getenv("UPDATE_API_SURFACE") != "" {
+		if err := os.MkdirAll(filepath.Dir(apiSurfaceGolden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiSurfaceGolden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s", apiSurfaceGolden)
+		return
+	}
+	want, err := os.ReadFile(apiSurfaceGolden)
+	if err != nil {
+		t.Fatalf("missing API-surface golden (run UPDATE_API_SURFACE=1 go test -run TestAPISurface .): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("public API surface changed; review the diff and regenerate the golden if intended\n%s",
+			surfaceDiff(string(want), got))
+	}
+}
+
+// describeAPISurface renders every exported declaration of the root package
+// in a stable one-line-per-item format.
+func describeAPISurface(t *testing.T) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["murphy"]
+	if !ok {
+		t.Fatalf("package murphy not found in %v", pkgs)
+	}
+	var lines []string
+	add := func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	}
+	expr := func(e ast.Expr) string {
+		var b strings.Builder
+		if err := printer.Fprint(&b, fset, e); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				recv := ""
+				if d.Recv != nil && len(d.Recv.List) == 1 {
+					rt := expr(d.Recv.List[0].Type)
+					if !ast.IsExported(strings.TrimPrefix(rt, "*")) {
+						continue
+					}
+					recv = "(" + rt + ") "
+				}
+				d.Type.Func = token.NoPos // normalize position noise
+				add("func %s%s%s", recv, d.Name.Name, strings.TrimPrefix(expr(d.Type), "func"))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						assign := ""
+						if s.Assign != token.NoPos {
+							assign = "= "
+						}
+						if st, ok := s.Type.(*ast.StructType); ok {
+							add("type %s struct", s.Name.Name)
+							for _, fld := range st.Fields.List {
+								ft := expr(fld.Type)
+								if len(fld.Names) == 0 {
+									add("type %s struct: %s (embedded)", s.Name.Name, ft)
+									continue
+								}
+								for _, n := range fld.Names {
+									if n.IsExported() {
+										add("type %s struct: %s %s", s.Name.Name, n.Name, ft)
+									}
+								}
+							}
+							continue
+						}
+						add("type %s %s%s", s.Name.Name, assign, expr(s.Type))
+					case *ast.ValueSpec:
+						kind := "var"
+						if d.Tok == token.CONST {
+							kind = "const"
+						}
+						for _, n := range s.Names {
+							if n.IsExported() {
+								add("%s %s", kind, n.Name)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+// surfaceDiff renders a minimal added/removed listing between two goldens.
+func surfaceDiff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintf(&b, "- %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintf(&b, "+ %s\n", l)
+		}
+	}
+	return b.String()
+}

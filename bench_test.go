@@ -18,6 +18,7 @@ import (
 	"murphy/internal/graph"
 	"murphy/internal/harness"
 	"murphy/internal/microsim"
+	"murphy/internal/obs"
 	"murphy/internal/telemetry"
 )
 
@@ -526,4 +527,37 @@ func BenchmarkFastPathTable2(b *testing.B) {
 	b.ReportMetric(ind(last.RankingsIdentical), "rankings-identical")
 	b.ReportMetric(ind(last.Top1Identical), "top1-identical")
 	b.Log("\n" + last.String())
+}
+
+// ---------------------------------------------------------------------------
+// Observability layer overhead
+
+// BenchmarkObsOverhead times the same diagnosis with the instrumentation
+// layer disabled (the production default — budgeted at ≤2% over the
+// pre-instrumentation baseline, i.e. BenchmarkCoreDiagnose's historical
+// numbers) and enabled (spans, counters, histograms all live).
+func BenchmarkObsOverhead(b *testing.B) {
+	m, sc := contentionModel(b, benchConfig())
+	rec := obs.New()
+	m.SetRecorder(rec)
+	b.Run("disabled", func(b *testing.B) {
+		rec.Disable()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Diagnose(sc.Symptom); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		rec.Reset()
+		rec.Enable()
+		defer rec.Disable()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.Diagnose(sc.Symptom); err != nil {
+				b.Fatal(err)
+			}
+		}
+		snap := rec.Snapshot()
+		b.ReportMetric(float64(snap.Counters["gibbs_samples"])/float64(b.N), "gibbs-samples/op")
+	})
 }

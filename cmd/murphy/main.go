@@ -7,16 +7,19 @@
 //
 //	murphy -snapshot db.json -entity backend-vm -metric cpu_util [-low]
 //	murphy -snapshot db.json -app shop            # scan for symptoms first
+//	murphy -snapshot db.json -entity backend-vm -metric cpu_util -o json
+//	murphy -snapshot db.json -app shop -stats -trace
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"time"
 
 	"murphy"
 	"murphy/internal/graph"
-	"murphy/internal/resilience"
 	"murphy/internal/telemetry"
 )
 
@@ -36,11 +39,19 @@ func main() {
 		cache    = flag.Bool("cache", false, "reuse trained factors across the diagnoses of this run (behavior-preserving)")
 		early    = flag.Float64("earlystop", 0, "early-stop confidence for the counterfactual tests, e.g. 0.999 (0 = full sample budget)")
 		edges    = flag.String("edges", "", "edge-list file overlaying known associations onto the snapshot (\"a -> b\" directed, \"a -- b\" loose)")
+		outFmt   = flag.String("o", "text", "output format: text or json (the versioned Report schema)")
+		stats    = flag.Bool("stats", false, "print the per-stage timing and counter breakdown after each diagnosis")
+		trace    = flag.Bool("trace", false, "stream pipeline stage and progress events to stderr as the diagnosis runs")
+		listen   = flag.String("listen", "", "serve /metrics, /stats and /debug/pprof on this address while diagnosing (e.g. :6060)")
 	)
 	flag.Parse()
 	if *snapshot == "" {
 		fmt.Fprintln(os.Stderr, "murphy: -snapshot is required")
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *outFmt != "text" && *outFmt != "json" {
+		fmt.Fprintf(os.Stderr, "murphy: unknown output format %q (want text or json)\n", *outFmt)
 		os.Exit(2)
 	}
 	f, err := os.Open(*snapshot)
@@ -76,13 +87,21 @@ func main() {
 		opts = append(opts, murphy.WithWorkers(*workers))
 	}
 	if *retries > 0 {
-		opts = append(opts, murphy.WithRetry(resilience.Policy{MaxAttempts: *retries}))
+		opts = append(opts, murphy.WithResilience(murphy.Resilience{
+			Retry: &murphy.RetryPolicy{MaxAttempts: *retries},
+		}))
 	}
 	if *cache {
-		opts = append(opts, murphy.WithFactorCache(0))
+		opts = append(opts, murphy.WithCaching(murphy.Caching{}))
 	}
 	if *early > 0 {
 		opts = append(opts, murphy.WithEarlyStop(*early))
+	}
+	if *stats || *listen != "" {
+		opts = append(opts, murphy.WithStats())
+	}
+	if *trace {
+		opts = append(opts, murphy.WithObserver(&traceObserver{out: os.Stderr}))
 	}
 	var symptoms []telemetry.Symptom
 	switch {
@@ -99,6 +118,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *listen != "" {
+		mux := sys.ObservabilityMux(true)
+		go func() {
+			if err := http.ListenAndServe(*listen, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "murphy: observability listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "observability endpoint on %s (/metrics, /stats, /debug/pprof)\n", *listen)
+	}
 	if len(symptoms) == 0 {
 		symptoms = sys.FindSymptoms(*app)
 		if len(symptoms) == 0 {
@@ -108,41 +136,85 @@ func main() {
 		fmt.Printf("found %d problematic symptom(s) in app %q\n", len(symptoms), *app)
 	}
 	for _, sym := range symptoms {
-		fmt.Printf("\n=== symptom: %s ===\n", sym)
+		if *outFmt == "text" {
+			fmt.Printf("\n=== symptom: %s ===\n", sym)
+		}
 		report, err := sys.Diagnose(sym)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "murphy: %v\n", err)
 			continue
 		}
-		if report.Partial {
-			fmt.Printf("PARTIAL result: %d of %d candidates not fully evaluated\n",
-				len(report.Skipped), len(report.Candidates))
-		}
-		if report.ReadFailures > 0 {
-			fmt.Printf("%d telemetry reads failed and were treated as missing data\n", report.ReadFailures)
-		}
-		if len(report.Causes) == 0 {
-			fmt.Println("no root cause passed the counterfactual test")
-			continue
-		}
-		for i, rc := range report.Top(*topK) {
-			e := db.Entity(rc.Entity)
-			if rc.Degraded {
-				fmt.Printf("%2d. %-40s anomaly=%.1f  DEGRADED (%s)\n", i+1, e, rc.Score, rc.Reason)
-				continue
+		if *outFmt == "json" {
+			if err := report.WriteJSON(os.Stdout); err != nil {
+				fatal(err)
 			}
-			fmt.Printf("%2d. %-40s anomaly=%.1f  p=%.4f  effect=%.2f\n", i+1, e, rc.Score, rc.PValue, rc.Effect)
-			if rc.Explanation != "" {
-				fmt.Printf("    chain: %s\n", rc.Explanation)
-			}
+		} else {
+			printReport(db, report, *topK)
 		}
-		if len(report.RecentChanges) > 0 {
-			fmt.Println("recent configuration changes in the training window:")
-			for _, ev := range report.RecentChanges {
-				fmt.Printf("    %s\n", ev)
-			}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "--- pipeline breakdown: %s ---\n%s", sym, sys.Stats().Table())
 		}
 	}
+}
+
+// printReport renders one report in the human-readable text format.
+func printReport(db *telemetry.DB, report *murphy.Report, topK int) {
+	if report.Partial {
+		fmt.Printf("PARTIAL result: %d of %d candidates not fully evaluated\n",
+			len(report.Skipped), len(report.Candidates))
+	}
+	if report.ReadFailures > 0 {
+		fmt.Printf("%d telemetry reads failed and were treated as missing data\n", report.ReadFailures)
+	}
+	if len(report.Causes) == 0 {
+		fmt.Println("no root cause passed the counterfactual test")
+		return
+	}
+	for i, rc := range report.Top(topK) {
+		e := db.Entity(rc.Entity)
+		if rc.Degraded {
+			fmt.Printf("%2d. %-40s anomaly=%.1f  DEGRADED (%s)\n", i+1, e, rc.Score, rc.Reason)
+			continue
+		}
+		fmt.Printf("%2d. %-40s anomaly=%.1f  p=%.4f  effect=%.2f\n", i+1, e, rc.Score, rc.PValue, rc.Effect)
+		if rc.Explanation != "" {
+			fmt.Printf("    chain: %s\n", rc.Explanation)
+		}
+	}
+	if len(report.RecentChanges) > 0 {
+		fmt.Println("recent configuration changes in the training window:")
+		for _, ev := range report.RecentChanges {
+			fmt.Printf("    %s\n", ev)
+		}
+	}
+}
+
+// traceObserver streams pipeline events to a writer as they happen.
+type traceObserver struct {
+	out      *os.File
+	lastDone int
+}
+
+func (o *traceObserver) StageStart(st murphy.Stage) {
+	fmt.Fprintf(o.out, "[trace] %s: start\n", st)
+}
+
+func (o *traceObserver) StageEnd(st murphy.Stage, wall, cpu time.Duration) {
+	fmt.Fprintf(o.out, "[trace] %s: done in %s (cpu %s)\n", st, wall.Round(time.Microsecond), cpu.Round(time.Microsecond))
+}
+
+func (o *traceObserver) Progress(st murphy.Stage, done, total int, entity string) {
+	// Thin the stream: at most ~20 progress lines per stage.
+	step := total / 20
+	if step < 1 {
+		step = 1
+	}
+	if done != total && done/step == o.lastDone/step {
+		o.lastDone = done
+		return
+	}
+	o.lastDone = done
+	fmt.Fprintf(o.out, "[trace] %s: %d/%d (%s)\n", st, done, total, entity)
 }
 
 func fatal(err error) {

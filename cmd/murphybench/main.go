@@ -14,17 +14,34 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"murphy/internal/enterprise"
 	"murphy/internal/harness"
+	"murphy/internal/obs"
 )
 
 func main() {
 	var (
-		exp  = flag.String("exp", "all", "comma-separated experiments: fig5c, fig5d, table1, fig6b, fig6c, table2, fig7, fig8a, fig8b, scaling, sensitivity, cycles, fastpath, all")
-		full = flag.Bool("full", false, "use paper-scale parameters (slow)")
+		exp   = flag.String("exp", "all", "comma-separated experiments: fig5c, fig5d, table1, fig6b, fig6c, table2, fig7, fig8a, fig8b, scaling, sensitivity, cycles, fastpath, obsoverhead, all")
+		full  = flag.Bool("full", false, "use paper-scale parameters (slow)")
+		stats = flag.Bool("stats", false, "print the accumulated per-stage timing and counter breakdown at exit")
+		trace = flag.Bool("trace", false, "stream pipeline stage events to stderr as experiments run")
 	)
 	flag.Parse()
+	if *stats || *trace {
+		// Experiments drive the core directly; the core's instrumentation
+		// falls back to the process-global recorder.
+		obs.Global().Enable()
+	}
+	if *trace {
+		obs.Global().Attach(stderrTracer{})
+	}
+	if *stats {
+		defer func() {
+			fmt.Fprintf(os.Stderr, "--- pipeline breakdown (all experiments) ---\n%s", obs.Global().Snapshot().Table())
+		}()
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
@@ -179,6 +196,19 @@ func main() {
 		}
 		fmt.Print(res)
 	}
+	if run("obsoverhead") {
+		opts := harness.DefaultObsOverheadOptions()
+		if *full {
+			opts.Scenarios = 8
+			opts.Samples = 5000
+			opts.Rounds = 5
+		}
+		res, err := harness.RunObsOverhead(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res)
+	}
 	if run("cycles") {
 		gen := enterprise.DefaultGenOptions()
 		gen.Apps = 8
@@ -196,3 +226,16 @@ func main() {
 		fmt.Print(res)
 	}
 }
+
+// stderrTracer streams stage events from the global recorder to stderr.
+type stderrTracer struct{}
+
+func (stderrTracer) StageStart(st obs.Stage) {
+	fmt.Fprintf(os.Stderr, "[trace] %s: start\n", st)
+}
+
+func (stderrTracer) StageEnd(st obs.Stage, wall, cpu time.Duration) {
+	fmt.Fprintf(os.Stderr, "[trace] %s: done in %s (cpu %s)\n", st, wall.Round(time.Microsecond), cpu.Round(time.Microsecond))
+}
+
+func (stderrTracer) Progress(obs.Stage, int, int, string) {}

@@ -25,7 +25,6 @@ import (
 	"murphy/internal/chaos"
 	"murphy/internal/degrade"
 	"murphy/internal/microsim"
-	"murphy/internal/resilience"
 	"murphy/internal/telemetry"
 )
 
@@ -102,9 +101,11 @@ func main() {
 	sys, err := murphy.New(pristine,
 		murphy.WithConfig(cfg),
 		murphy.WithSeeds(sc.Symptom.Entity),
-		murphy.WithSource(inj),
-		murphy.WithRetry(resilience.Policy{MaxAttempts: 5, BaseDelay: time.Millisecond}),
-		murphy.WithBreaker(resilience.BreakerConfig{FailureThreshold: 8, Cooldown: 50 * time.Millisecond}),
+		murphy.WithResilience(murphy.Resilience{
+			Source:  inj,
+			Retry:   &murphy.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond},
+			Breaker: &murphy.BreakerConfig{FailureThreshold: 8, Cooldown: 50 * time.Millisecond},
+		}),
 	)
 	if err != nil {
 		log.Fatal(err)
@@ -115,7 +116,8 @@ func main() {
 	}
 	fmt.Printf("%-45s -> %s (%d causes from %d candidates)\n",
 		"10% transient faults + NaN corruption", verdict(report, accept), len(report.Causes), len(report.Candidates))
-	ist, rst := inj.Stats(), sys.SourceStats()
+	ist := inj.Stats()
+	rst, _ := sys.SourceStats()
 	fmt.Printf("injector: %d reads saw %d faults, %d corrupted values\n", ist.Reads, ist.Faults, ist.Corrupted)
 	fmt.Printf("resilience: %d reads, %d retried, %d failed for good, %d rejected by the breaker\n",
 		rst.Reads, rst.Retried, rst.Failed, rst.Rejected)

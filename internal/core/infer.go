@@ -9,6 +9,7 @@ import (
 	"sort"
 	"time"
 
+	"murphy/internal/obs"
 	"murphy/internal/stats"
 	"murphy/internal/telemetry"
 )
@@ -120,9 +121,13 @@ func (m *Model) DiagnoseContext(ctx context.Context, symptom telemetry.Symptom) 
 	// incidents resolve to the symptomatic entity (a local memory leak, a
 	// threshold excursion with no upstream driver). Its counterfactual is
 	// the degenerate one-node path: normalizing its own anomalous metrics.
+	sp := m.obs.StartStage(obs.StagePrune)
 	candidates := append(m.Candidates(symptom.Entity), symptom.Entity)
+	sp.End()
+	m.obs.Add(obs.CtrCandidatesPruned, int64(m.g.Len()-len(candidates)))
 	d := &Diagnosis{Symptom: symptom, Candidates: candidates}
-	for _, cand := range candidates {
+	sp = m.obs.StartStage(obs.StageTest)
+	for i, cand := range candidates {
 		if err := ctx.Err(); err != nil {
 			m.recordSkip(d, cand, skipReason(err))
 			continue
@@ -132,11 +137,17 @@ func (m *Model) DiagnoseContext(ctx context.Context, symptom telemetry.Symptom) 
 			m.recordSkip(d, cand, evalFailReason(err))
 			continue
 		}
+		m.obs.Add(obs.CtrCandidatesTested, 1)
 		if ok {
+			m.obs.Add(obs.CtrCausesCertified, 1)
 			d.Causes = append(d.Causes, verdict)
 		}
+		m.obs.Progress(obs.StageTest, i+1, len(candidates), string(cand))
 	}
+	sp.End()
+	sp = m.obs.StartStage(obs.StageRank)
 	finishDiagnosis(d, start)
+	sp.End()
 	if errors.Is(ctx.Err(), context.Canceled) {
 		return d, fmt.Errorf("core: diagnosis cancelled: %w", ctx.Err())
 	}
@@ -164,6 +175,7 @@ func evalFailReason(err error) string {
 // an anomaly-score-only Degraded verdict (the degradation policy: when the
 // counterfactual test cannot run, rank by how anomalous the entity looks).
 func (m *Model) recordSkip(d *Diagnosis, cand telemetry.EntityID, reason string) {
+	m.obs.Add(obs.CtrCandidatesSkipped, 1)
 	d.Skipped = append(d.Skipped, SkippedCandidate{Entity: cand, Reason: reason})
 	d.Degraded = append(d.Degraded, RootCause{
 		Entity:   cand,
@@ -240,6 +252,12 @@ func (m *Model) evaluateCandidate(ctx context.Context, a telemetry.EntityID, sym
 	if m.evalHook != nil {
 		m.evalHook(a)
 	}
+	if m.obs.Enabled() {
+		t0 := time.Now()
+		defer func() {
+			m.obs.Observe(obs.HistTestWallMicros, time.Since(t0).Microseconds())
+		}()
+	}
 	d := symptom.Entity
 	path := m.paths.ShortestPathSubgraph(a, d)
 	if path == nil {
@@ -286,6 +304,7 @@ func (m *Model) evaluateCandidate(ctx context.Context, a telemetry.EntityID, sym
 		}
 		return RootCause{}, false, statErr
 	}
+	m.obs.Observe(obs.HistSamplesPerTest, int64(used))
 	effect := sign * shift / scale
 	rc := RootCause{
 		Entity:      a,
@@ -363,6 +382,7 @@ func (m *Model) sampleEarlyStop(ctx context.Context, a, d telemetry.EntityID, pa
 	if min > n {
 		min = n
 	}
+	decisive := false
 	for drawn := 0; drawn < n; {
 		k := earlyStopBatch
 		if k > n-drawn {
@@ -386,6 +406,7 @@ func (m *Model) sampleEarlyStop(ctx context.Context, a, d telemetry.EntityID, pa
 		na, nb := float64(st.A.Count()), float64(st.B.Count())
 		effSE := math.Abs(effScale) * math.Sqrt(st.A.Variance()/na+st.B.Variance()/nb)
 		if eff+zConf*effSE < m.cfg.MinEffect {
+			decisive = true
 			break // effect decisively below MinEffect: rejected whatever p says
 		}
 		sig, decided := st.Decisive(alt, m.cfg.Alpha, zConf)
@@ -393,11 +414,18 @@ func (m *Model) sampleEarlyStop(ctx context.Context, a, d telemetry.EntityID, pa
 			continue
 		}
 		if !sig {
+			decisive = true
 			break // p decisively above Alpha: rejected no matter the effect
 		}
 		if eff-zConf*effSE > m.cfg.MinEffect {
+			decisive = true
 			break // both arms of the accept criterion are decided
 		}
+	}
+	if decisive {
+		m.obs.Add(obs.CtrEarlyStopDecisive, 1)
+	} else {
+		m.obs.Add(obs.CtrEarlyStopExhausted, 1)
 	}
 	res, err := st.Test(alt)
 	if err != nil {
@@ -517,6 +545,7 @@ func (m *Model) resampleSymptom(ctx context.Context, path []telemetry.EntityID, 
 			}
 		}
 	}
+	m.obs.Add(obs.CtrGibbsSamples, int64(n))
 	return ar.ensure(symRef, n, start), nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"murphy/internal/graph"
+	"murphy/internal/obs"
 	"murphy/internal/regress"
 	"murphy/internal/stats"
 	"murphy/internal/telemetry"
@@ -99,6 +100,11 @@ type Model struct {
 	// arenas pools the Gibbs resampler's scratch buffers across candidate
 	// evaluations and DiagnoseParallel workers.
 	arenas *arenaPool
+	// obs receives pipeline instrumentation (stage spans, counters,
+	// histograms, progress events). Never nil: trainAt defaults it to
+	// obs.Global(), which is disabled unless something enables it, so the
+	// hot paths pay only an atomic-load guard.
+	obs *obs.Recorder
 }
 
 // ReadFailure records one training-window read that failed after the
@@ -119,6 +125,11 @@ func (m *Model) ReadFailures() []ReadFailure { return m.readFailures }
 // chaos drills — a hook that panics models a poisoned evaluator, which the
 // diagnosis must absorb as a failed candidate rather than crash on.
 func (m *Model) SetEvalHook(h func(telemetry.EntityID)) { m.evalHook = h }
+
+// SetRecorder swaps the model's instrumentation recorder. rec must not be
+// nil; pass a disabled recorder to silence a model trained with stats on.
+// Not safe to call concurrently with a running diagnosis.
+func (m *Model) SetRecorder(rec *obs.Recorder) { m.obs = rec }
 
 // Train fits the MRF on the database restricted to the relationship graph,
 // using the cfg.TrainWindow trailing slices ending at the database's last
@@ -168,6 +179,10 @@ type TrainOpts struct {
 	// FactorCache). It is consulted only on the default-trainer, direct-read
 	// path; a custom Trainer or an interposed Src trains from scratch.
 	Cache *FactorCache
+	// Obs receives pipeline instrumentation for this model (training spans
+	// and counters now, inference spans on every later Diagnose call). Nil
+	// falls back to obs.Global(), which is disabled by default.
+	Obs *obs.Recorder
 }
 
 // TrainOpt is the general training entry point: TrainContext plus the
@@ -194,6 +209,12 @@ func trainAt(ctx context.Context, db *telemetry.DB, g *graph.Graph, cfg Config, 
 	if trainer != nil || src != nil {
 		cache = nil
 	}
+	rec := opts.Obs
+	if rec == nil {
+		rec = obs.Global()
+	}
+	sp := rec.StartStage(obs.StageTrain)
+	defer sp.End()
 	cfg = cfg.sanitized()
 	if db.Len() == 0 {
 		return nil, fmt.Errorf("core: empty database")
@@ -215,6 +236,18 @@ func trainAt(ctx context.Context, db *telemetry.DB, g *graph.Graph, cfg Config, 
 		now:       now,
 		paths:     graph.NewSubgraphCache(g),
 		arenas:    newArenaPool(),
+		obs:       rec,
+	}
+	if rec.Enabled() {
+		// The hook costs a closure call per subgraph lookup, so it is only
+		// installed when the recorder is live at training time.
+		m.paths.SetHook(func(hit bool) {
+			if hit {
+				rec.Add(obs.CtrSubgraphCacheHits, 1)
+			} else {
+				rec.Add(obs.CtrSubgraphCacheMisses, 1)
+			}
+		})
 	}
 	m.trainHi = now + 1
 	m.trainLo = m.trainHi - cfg.TrainWindow
@@ -246,6 +279,7 @@ func trainAt(ctx context.Context, db *telemetry.DB, g *graph.Graph, cfg Config, 
 			err = fmt.Errorf("core: short read (%d of %d slices)", len(w), m.trainHi-m.trainLo)
 		}
 		m.readFailures = append(m.readFailures, ReadFailure{Entity: id, Metric: name, Err: err})
+		rec.Add(obs.CtrReadFailures, 1)
 		w = make([]float64, m.trainHi-m.trainLo)
 		for i := range w {
 			w[i] = math.NaN()
@@ -323,9 +357,11 @@ func trainAt(ctx context.Context, db *telemetry.DB, g *graph.Graph, cfg Config, 
 					topB: cfg.TopB, lambda: cfg.Lambda, nbrHash: nbrHash,
 				}
 				if f, ok := cache.get(ckey); ok {
+					rec.Add(obs.CtrFactorCacheHits, 1)
 					m.factors[ref] = f
 					continue
 				}
+				rec.Add(obs.CtrFactorCacheMisses, 1)
 			}
 			y := windows[ref]
 			hm, hs := stats.MeanStd(y)
@@ -386,6 +422,7 @@ func trainAt(ctx context.Context, db *telemetry.DB, g *graph.Graph, cfg Config, 
 			}
 			f.model = model
 			m.factors[ref] = f
+			rec.Add(obs.CtrFactorsTrained, 1)
 			if cache != nil {
 				cache.put(ckey, f)
 			}

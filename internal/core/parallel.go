@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"murphy/internal/obs"
 	"murphy/internal/telemetry"
 )
 
@@ -44,7 +46,10 @@ func (m *Model) DiagnoseParallelContext(ctx context.Context, symptom telemetry.S
 		defer cancel()
 	}
 	start := time.Now()
+	sp := m.obs.StartStage(obs.StagePrune)
 	candidates := append(m.Candidates(symptom.Entity), symptom.Entity)
+	sp.End()
+	m.obs.Add(obs.CtrCandidatesPruned, int64(m.g.Len()-len(candidates)))
 	// Each candidate's outcome lands in its own slot, so assembly below is
 	// deterministic regardless of worker interleaving.
 	type outcome struct {
@@ -53,6 +58,11 @@ func (m *Model) DiagnoseParallelContext(ctx context.Context, symptom telemetry.S
 	}
 	results := make([]outcome, len(candidates))
 	jobs := make(chan int)
+	// done counts finished candidates across workers for progress events.
+	// StageTest is one span over the whole fan-out (per-span CPU deltas of
+	// overlapping spans would double-count process CPU).
+	var done atomic.Int64
+	sp = m.obs.StartStage(obs.StageTest)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -64,6 +74,7 @@ func (m *Model) DiagnoseParallelContext(ctx context.Context, symptom telemetry.S
 					// Keep draining so the feeder never blocks; each
 					// remaining candidate is recorded as skipped.
 					results[idx] = outcome{skip: skipReason(err)}
+					done.Add(1)
 					continue
 				}
 				verdict, ok, err := m.evaluateCandidateSafe(ctx, cand, symptom)
@@ -71,9 +82,13 @@ func (m *Model) DiagnoseParallelContext(ctx context.Context, symptom telemetry.S
 				case err != nil:
 					results[idx] = outcome{skip: evalFailReason(err)}
 				case ok:
+					m.obs.Add(obs.CtrCandidatesTested, 1)
 					v := verdict
 					results[idx] = outcome{cause: &v}
+				default:
+					m.obs.Add(obs.CtrCandidatesTested, 1)
 				}
+				m.obs.Progress(obs.StageTest, int(done.Add(1)), len(candidates), string(cand))
 			}
 		}()
 	}
@@ -82,17 +97,21 @@ func (m *Model) DiagnoseParallelContext(ctx context.Context, symptom telemetry.S
 	}
 	close(jobs)
 	wg.Wait()
+	sp.End()
 
 	d := &Diagnosis{Symptom: symptom, Candidates: candidates}
+	sp = m.obs.StartStage(obs.StageRank)
 	for i, r := range results {
 		switch {
 		case r.skip != "":
 			m.recordSkip(d, candidates[i], r.skip)
 		case r.cause != nil:
+			m.obs.Add(obs.CtrCausesCertified, 1)
 			d.Causes = append(d.Causes, *r.cause)
 		}
 	}
 	finishDiagnosis(d, start)
+	sp.End()
 	if errors.Is(ctx.Err(), context.Canceled) {
 		return d, fmt.Errorf("core: diagnosis cancelled: %w", ctx.Err())
 	}

@@ -23,7 +23,14 @@ type SubgraphCache struct {
 	// paths[(ai,di)] is the memoized subgraph; nil-but-present means
 	// "unreachable", so negative results are cached too.
 	paths map[[2]int][]telemetry.EntityID
+	// hook, when set, observes every memoization lookup (true on hit).
+	hook func(hit bool)
 }
+
+// SetHook installs a lookup observer, called with true on every memoization
+// hit and false on every miss. Set it before the cache is shared between
+// goroutines; the hook itself must be safe for concurrent use.
+func (c *SubgraphCache) SetHook(hook func(hit bool)) { c.hook = hook }
 
 // NewSubgraphCache returns an empty cache over g. The graph must not be
 // mutated while the cache is in use (Graph has no mutating methods after
@@ -55,6 +62,9 @@ func (c *SubgraphCache) ShortestPathSubgraph(a, d telemetry.EntityID) []telemetr
 	path, hit := c.paths[key]
 	toD := c.rev[di]
 	c.mu.RUnlock()
+	if c.hook != nil {
+		c.hook(hit)
+	}
 	if hit {
 		return path
 	}

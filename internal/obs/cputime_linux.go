@@ -1,0 +1,20 @@
+//go:build linux
+
+package obs
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPU returns the process's cumulative CPU time (user + system).
+// Stage spans report the delta over their lifetime; under concurrent
+// evaluation the per-span delta includes CPU burned by sibling goroutines,
+// which is why only the sequential top-level stages record CPU.
+func processCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

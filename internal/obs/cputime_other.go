@@ -1,0 +1,9 @@
+//go:build !linux
+
+package obs
+
+import "time"
+
+// processCPU is unavailable without a cheap platform CPU clock; spans report
+// zero CPU and breakdowns show wall time only.
+func processCPU() time.Duration { return 0 }

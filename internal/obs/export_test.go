@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := New()
+	r.Enable()
+	r.Add(CtrGibbsSamples, 1234)
+	sp := r.StartStage(StageTrain)
+	sp.End()
+	r.Observe(HistSamplesPerTest, 800)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"murphy_gibbs_samples_total 1234",
+		`murphy_stage_calls_total{stage="train"} 1`,
+		"# TYPE murphy_samples_per_test histogram",
+		`murphy_samples_per_test_bucket{le="+Inf"} 1`,
+		"murphy_samples_per_test_sum 800",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeMuxEndpoints(t *testing.T) {
+	r := New()
+	r.Enable()
+	r.Add(CtrCandidatesTested, 9)
+	mux := NewServeMux(r, true)
+
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "murphy_candidates_tested_total 9") {
+		t.Fatalf("/metrics:\n%s", body)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/stats")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["candidates_tested"] != 9 {
+		t.Fatalf("/stats counters: %+v", snap.Counters)
+	}
+	if body := get("/debug/pprof/cmdline"); body == "" {
+		t.Fatal("pprof cmdline empty")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Enable()
+	r.Add(CtrFactorsTrained, 3)
+	sp := r.StartStage(StagePrune)
+	sp.End()
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["factors_trained"] != 3 || !back.Enabled {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// histBuckets is the number of power-of-two buckets: bucket i holds values v
+// with 2^(i-1) < v <= 2^i-ish (precisely: bits.Len64(v) == i), bucket 0
+// holds v <= 0. 64 buckets cover the full int64 range with no configuration
+// and no allocation.
+const histBuckets = 65
+
+// histogram is a lock-free power-of-two histogram. Observations cost one
+// bits.Len64 and two atomic adds.
+type histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+}
+
+func (h *histogram) observe(v int64) {
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+func (h *histogram) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// snapshot renders the histogram with cumulative counts, omitting the empty
+// tail (only buckets up to the highest non-empty one are emitted).
+func (h *histogram) snapshot(name string) HistStats {
+	st := HistStats{Name: name, Count: h.count.Load(), Sum: h.sum.Load()}
+	top := -1
+	counts := make([]int64, histBuckets)
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] > 0 {
+			top = i
+		}
+	}
+	cum := int64(0)
+	for i := 0; i <= top; i++ {
+		cum += counts[i]
+		le := int64(0)
+		if i > 0 {
+			if i >= 63 {
+				le = int64(^uint64(0) >> 1) // +Inf-ish: max int64
+			} else {
+				le = int64(1) << i
+			}
+		}
+		st.Buckets = append(st.Buckets, HistBucket{Le: le, Count: cum})
+	}
+	return st
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// recordingObserver captures the serialized event stream.
+type recordingObserver struct {
+	mu     sync.Mutex
+	events []string
+}
+
+func (o *recordingObserver) StageStart(st Stage) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.events = append(o.events, "start "+st.String())
+}
+
+func (o *recordingObserver) StageEnd(st Stage, wall, cpu time.Duration) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.events = append(o.events, "end "+st.String())
+}
+
+func (o *recordingObserver) Progress(st Stage, done, total int, entity string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.events = append(o.events, "progress")
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Enable()
+	r.Disable()
+	r.Add(CtrGibbsSamples, 10)
+	r.Observe(HistSamplesPerTest, 5)
+	r.Progress(StageTest, 1, 2, "x")
+	r.Attach(&recordingObserver{})
+	r.Reset()
+	sp := r.StartStage(StageTrain)
+	sp.End()
+	if r.Enabled() {
+		t.Fatal("nil recorder cannot be enabled")
+	}
+	if r.Counter(CtrGibbsSamples) != 0 {
+		t.Fatal("nil recorder holds no counters")
+	}
+	snap := r.Snapshot()
+	if snap.Enabled || len(snap.Stages) != 0 {
+		t.Fatalf("nil snapshot should be empty: %+v", snap)
+	}
+}
+
+func TestDisabledRecorderCollectsNothing(t *testing.T) {
+	r := New()
+	obs := &recordingObserver{}
+	r.Attach(obs)
+	r.Add(CtrFactorsTrained, 5)
+	r.Observe(HistSamplesPerTest, 100)
+	sp := r.StartStage(StageTrain)
+	sp.End()
+	r.Progress(StageTest, 1, 1, "e")
+	if r.Counter(CtrFactorsTrained) != 0 {
+		t.Fatal("disabled recorder must not count")
+	}
+	if len(obs.events) != 0 {
+		t.Fatalf("disabled recorder must not dispatch: %v", obs.events)
+	}
+	snap := r.Snapshot()
+	if snap.Enabled {
+		t.Fatal("snapshot should report disabled")
+	}
+	for _, st := range snap.Stages {
+		if st.Calls != 0 {
+			t.Fatalf("stage %s recorded while disabled", st.Stage)
+		}
+	}
+}
+
+func TestCountersSpansAndSnapshot(t *testing.T) {
+	r := New()
+	r.Enable()
+	obs := &recordingObserver{}
+	r.Attach(obs)
+	r.Add(CtrFactorsTrained, 3)
+	r.Add(CtrFactorsTrained, 2)
+	sp := r.StartStage(StageTrain)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	r.Progress(StageTest, 1, 4, "cand")
+
+	if got := r.Counter(CtrFactorsTrained); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	snap := r.Snapshot()
+	if !snap.Enabled {
+		t.Fatal("snapshot should report enabled")
+	}
+	if snap.Counters["factors_trained"] != 5 {
+		t.Fatalf("snapshot counter = %d", snap.Counters["factors_trained"])
+	}
+	var train StageStats
+	for _, st := range snap.Stages {
+		if st.Stage == "train" {
+			train = st
+		}
+	}
+	if train.Calls != 1 || train.Wall <= 0 {
+		t.Fatalf("train stage = %+v", train)
+	}
+	want := []string{"start train", "end train", "progress"}
+	if len(obs.events) != len(want) {
+		t.Fatalf("events = %v", obs.events)
+	}
+	for i := range want {
+		if obs.events[i] != want[i] {
+			t.Fatalf("event %d = %q, want %q", i, obs.events[i], want[i])
+		}
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	r.Enable()
+	for _, v := range []int64{0, 1, 2, 3, 1000, 5000} {
+		r.Observe(HistSamplesPerTest, v)
+	}
+	snap := r.Snapshot()
+	var h HistStats
+	for _, hs := range snap.Hists {
+		if hs.Name == "samples_per_test" {
+			h = hs
+		}
+	}
+	if h.Count != 6 || h.Sum != 6006 {
+		t.Fatalf("hist = %+v", h)
+	}
+	// Cumulative counts must be monotone and end at Count.
+	last := int64(0)
+	for _, b := range h.Buckets {
+		if b.Count < last {
+			t.Fatalf("non-monotone buckets: %+v", h.Buckets)
+		}
+		last = b.Count
+	}
+	if last != h.Count {
+		t.Fatalf("cumulative tail %d != count %d", last, h.Count)
+	}
+}
+
+func TestResetZeroes(t *testing.T) {
+	r := New()
+	r.Enable()
+	r.Add(CtrGibbsSamples, 7)
+	sp := r.StartStage(StageRank)
+	sp.End()
+	r.Observe(HistTestWallMicros, 42)
+	r.Reset()
+	snap := r.Snapshot()
+	if snap.Counters["gibbs_samples"] != 0 {
+		t.Fatal("counter survived reset")
+	}
+	for _, st := range snap.Stages {
+		if st.Calls != 0 {
+			t.Fatal("stage agg survived reset")
+		}
+	}
+	for _, h := range snap.Hists {
+		if h.Count != 0 {
+			t.Fatal("hist survived reset")
+		}
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := New()
+	r.Enable()
+	r.Attach(&recordingObserver{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Add(CtrGibbsSamples, 1)
+				r.Observe(HistSamplesPerTest, int64(i))
+				r.Progress(StageTest, i, 200, "e")
+				sp := r.StartStage(StageTest)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter(CtrGibbsSamples); got != 1600 {
+		t.Fatalf("lost updates: %d", got)
+	}
+}
+
+func TestStageAndCounterNames(t *testing.T) {
+	if StageTrain.String() != "train" || StageExplain.String() != "explain" {
+		t.Fatal("stage names changed")
+	}
+	if Stage(200).String() != "unknown" || Counter(200).Name() != "unknown" || Hist(200).Name() != "unknown" {
+		t.Fatal("out-of-range names should be unknown")
+	}
+	seen := map[string]bool{}
+	for _, c := range Counters() {
+		if c.Name() == "" || seen[c.Name()] {
+			t.Fatalf("counter name collision or empty: %q", c.Name())
+		}
+		seen[c.Name()] = true
+	}
+}
+
+func TestTableRendersNonEmptyStages(t *testing.T) {
+	r := New()
+	r.Enable()
+	sp := r.StartStage(StageTrain)
+	sp.End()
+	r.Add(CtrFactorsTrained, 12)
+	table := r.Snapshot().Table()
+	if !strings.Contains(table, "train") || !strings.Contains(table, "factors_trained") {
+		t.Fatalf("table missing data:\n%s", table)
+	}
+	if strings.Contains(table, "explain") {
+		t.Fatalf("table should omit idle stages:\n%s", table)
+	}
+}

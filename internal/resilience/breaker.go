@@ -73,12 +73,22 @@ type Breaker struct {
 	cfg BreakerConfig
 	now func() time.Time // test seam
 
+	// onTrip, when set, fires (outside the lock) each time the breaker
+	// transitions to Open.
+	onTrip func()
+
 	mu        sync.Mutex
 	state     BreakerState
 	failures  int // consecutive failures while closed
 	successes int // consecutive probe successes while half-open
 	openedAt  time.Time
 }
+
+// SetOnTrip installs a callback fired on every Closed/HalfOpen → Open
+// transition. The callback runs outside the breaker's lock (so it may call
+// State) but inline with the tripping Record call; it must be fast and safe
+// for concurrent use. Set it before the breaker is shared between goroutines.
+func (b *Breaker) SetOnTrip(fn func()) { b.onTrip = fn }
 
 // NewBreaker builds a closed breaker with the given configuration.
 func NewBreaker(cfg BreakerConfig) *Breaker {
@@ -131,22 +141,32 @@ func (b *Breaker) Record(err error) {
 		return
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	tripped := b.recordLocked(err)
+	b.mu.Unlock()
+	if tripped && b.onTrip != nil {
+		b.onTrip()
+	}
+}
+
+// recordLocked applies one outcome and reports whether it tripped the
+// breaker. Callers must hold b.mu.
+func (b *Breaker) recordLocked(err error) bool {
 	b.tick()
 	switch b.state {
 	case Closed:
 		if err == nil {
 			b.failures = 0
-			return
+			return false
 		}
 		b.failures++
 		if b.failures >= b.cfg.FailureThreshold {
 			b.trip()
+			return true
 		}
 	case HalfOpen:
 		if err != nil {
 			b.trip()
-			return
+			return true
 		}
 		b.successes++
 		if b.successes >= b.cfg.SuccessesToClose {
@@ -156,6 +176,7 @@ func (b *Breaker) Record(err error) {
 	case Open:
 		// A straggler finishing after the trip; nothing to update.
 	}
+	return false
 }
 
 // trip opens the breaker. Callers must hold b.mu.

@@ -35,9 +35,19 @@ type Source struct {
 	retry   Policy
 	breaker *Breaker
 
+	// hook, when set, observes every completed read: retried is true for
+	// reads that needed at least one retry and succeeded, failed for reads
+	// that ultimately failed.
+	hook func(retried, failed bool)
+
 	mu    sync.Mutex
 	stats SourceStats
 }
+
+// SetHook installs a per-read outcome observer. The hook runs inline with
+// ReadRawWindow and must be fast and safe for concurrent use; set it before
+// the source is shared between goroutines.
+func (s *Source) SetHook(fn func(retried, failed bool)) { s.hook = fn }
 
 // NewSource builds a resilient view over inner. breaker may be nil (retry
 // only).
@@ -104,10 +114,16 @@ func (s *Source) ReadRawWindow(ctx context.Context, id telemetry.EntityID, metri
 				st.Rejected++
 			}
 		})
+		if s.hook != nil {
+			s.hook(false, true)
+		}
 		return nil, err
 	}
 	if attempts > 1 {
 		s.bump(func(st *SourceStats) { st.Retried++ })
+	}
+	if s.hook != nil {
+		s.hook(attempts > 1, false)
 	}
 	return w, nil
 }

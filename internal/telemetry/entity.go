@@ -98,13 +98,14 @@ func (e *Entity) String() string {
 }
 
 // Symptom is a problematic (entity, metric) pair — the input to diagnosis.
+// The JSON tags are part of the public report schema (murphy.Report).
 type Symptom struct {
-	Entity EntityID
-	Metric string
+	Entity EntityID `json:"entity"`
+	Metric string   `json:"metric"`
 	// High records the direction of the anomaly: true when the metric is
 	// abnormally high (the common case: CPU, latency, drops), false when
 	// abnormally low (e.g. throughput collapse).
-	High bool
+	High bool `json:"high"`
 }
 
 // String renders the symptom for logs.

@@ -21,6 +21,26 @@
 //	for _, rc := range report.Causes {
 //		fmt.Println(rc.Entity, rc.Explanation)
 //	}
+//
+// # API stability
+//
+// The exported surface of this package is versioned: Report carries
+// SchemaVersion and round-trips through WriteJSON/ReadJSON, internal types
+// appear only as intentional aliases (Config, RetryPolicy, BreakerConfig,
+// FactorCache, Observer, …), and apisurface_test.go pins the exported
+// declarations against a golden file so surface changes are deliberate.
+// Context-taking methods (DiagnoseContext, WhatIfContext) are canonical;
+// their context-less twins are one-line Background wrappers.
+//
+// # Observability
+//
+// The pipeline self-instruments: per-stage spans (train, prune, test, rank,
+// explain) with wall/CPU timings, counters (factors trained, cache hits,
+// Gibbs samples, early-stop decisions, retries, breaker trips), and a
+// progress-event stream. Subscribe with WithObserver, enable passive
+// collection with WithStats, read it back with Stats, or serve it with
+// MetricsHandler / ObservabilityMux. Disabled (the default), the whole layer
+// costs one predicted branch per call site.
 package murphy
 
 import (
@@ -31,17 +51,10 @@ import (
 	"murphy/internal/core"
 	"murphy/internal/explain"
 	"murphy/internal/graph"
+	"murphy/internal/obs"
 	"murphy/internal/resilience"
 	"murphy/internal/telemetry"
 )
-
-// Config re-exports the algorithm parameters of the MRF core; the zero value
-// of any field falls back to the paper's defaults.
-type Config = core.Config
-
-// DefaultConfig returns the paper's parameter choices (B=10 features, W=4
-// Gibbs rounds, 5000 Monte-Carlo samples, one-week training window).
-func DefaultConfig() Config { return core.DefaultConfig() }
 
 // System is a diagnosis session bound to one monitoring database. It builds
 // the relationship graph once; every Diagnose call trains the MRF online on
@@ -54,8 +67,8 @@ type System struct {
 	maxHop int
 	seeds  []telemetry.EntityID
 	// src is the read path used for online training; defaults to db.
-	// WithSource interposes another source (e.g. a chaos injector);
-	// WithRetry/WithBreaker wrap it in the resilience layer.
+	// WithResilience interposes another source and/or wraps it in the
+	// resilience layer.
 	src     telemetry.Source
 	retry   *resilience.Policy
 	brkCfg  *resilience.BreakerConfig
@@ -65,111 +78,9 @@ type System struct {
 	// cache, when set, carries trained factors across the Diagnose calls of
 	// this System (and any other System sharing the cache).
 	cache *core.FactorCache
-}
-
-// Option customizes a System.
-type Option func(*System)
-
-// WithConfig overrides the algorithm parameters.
-func WithConfig(cfg Config) Option {
-	return func(s *System) { s.cfg = cfg }
-}
-
-// WithSeeds sets the entities the relationship graph is grown from
-// (typically the affected application's members, or the symptom entity).
-// When unset, the graph covers every entity in the database.
-func WithSeeds(seeds ...telemetry.EntityID) Option {
-	return func(s *System) { s.seeds = seeds }
-}
-
-// WithApp seeds the relationship graph with the tagged members of an
-// application, as operators do when a ticket names an affected app.
-func WithApp(db *telemetry.DB, app string) Option {
-	return func(s *System) { s.seeds = db.AppMembers(app) }
-}
-
-// WithMaxHops bounds the graph expansion from the seed set; negative (the
-// default) expands the reachable component. The paper's incident dataset
-// used four hops from the affected application.
-func WithMaxHops(h int) Option {
-	return func(s *System) { s.maxHop = h }
-}
-
-// WithThresholds overrides the explanation labeling thresholds.
-func WithThresholds(th explain.Thresholds) Option {
-	return func(s *System) { s.th = th }
-}
-
-// WithSource routes the online-training reads through src instead of the
-// database directly — a chaos injector in robustness drills, or any
-// external read path. Combine with WithRetry/WithBreaker to absorb the
-// source's transient faults.
-func WithSource(src telemetry.Source) Option {
-	return func(s *System) { s.src = src }
-}
-
-// WithRetry wraps the training-window reads in a retry policy: transient
-// telemetry faults (telemetry.ErrTransient) are absorbed with exponential
-// backoff instead of degrading the affected series.
-func WithRetry(p resilience.Policy) Option {
-	return func(s *System) { s.retry = &p }
-}
-
-// WithBreaker adds a circuit breaker on the telemetry read path: a source
-// failing persistently is given a cooldown (reads fail fast and degrade to
-// missing data) instead of retry pressure. The breaker persists across
-// Diagnose calls on this System.
-func WithBreaker(cfg resilience.BreakerConfig) Option {
-	return func(s *System) { s.brkCfg = &cfg }
-}
-
-// WithWorkers fans candidate evaluations out over n workers per Diagnose
-// call (n <= 1 stays sequential; results are identical either way, per the
-// independently seeded samplers).
-func WithWorkers(n int) Option {
-	return func(s *System) { s.workers = n }
-}
-
-// WithFactorCache reuses trained factors across this System's Diagnose and
-// WhatIf calls: Murphy retrains its MRF online on every call, but between
-// two calls at the same time slice every factor comes out identical, so an
-// operator triaging several symptoms of one incident pays the ridge fits
-// and feature selection only once. capacity caps the cached factor count
-// (<= 0 uses the default); entries are evicted LRU. Behavior-preserving:
-// rankings are bit-identical with the cache on or off. The cache is bypassed
-// automatically when WithSource/WithRetry/WithBreaker interpose a fallible
-// read path (see core.FactorCache for why).
-func WithFactorCache(capacity int) Option {
-	return func(s *System) { s.cache = core.NewFactorCache(capacity) }
-}
-
-// WithSharedFactorCache installs an existing cache, so several Systems over
-// the same database (e.g. one per symptom seed set) share trained factors.
-func WithSharedFactorCache(c *core.FactorCache) Option {
-	return func(s *System) { s.cache = c }
-}
-
-// WithEarlyStop enables sequential significance testing at the given
-// confidence (0 uses the 0.999 default): each counterfactual test draws its
-// Monte-Carlo samples in batches and stops as soon as the verdict at Alpha
-// is decided with margin to spare, cutting the sample budget by an order of
-// magnitude for clear-cut candidates. Verdicts match the full-budget run in
-// practice (the margin keeps borderline candidates sampling), but reported
-// p-values come from the truncated sample. Apply after WithConfig.
-func WithEarlyStop(confidence float64) Option {
-	return func(s *System) {
-		s.cfg.EarlyStop = true
-		s.cfg.EarlyStopConfidence = confidence
-	}
-}
-
-// FactorCacheStats reports the factor cache's hit/miss counters (zero-valued
-// when WithFactorCache was not used).
-func (s *System) FactorCacheStats() core.FactorCacheStats {
-	if s.cache == nil {
-		return core.FactorCacheStats{}
-	}
-	return s.cache.Stats()
+	// rec is the session's instrumentation recorder. Always non-nil;
+	// disabled unless WithObserver/WithStats (or EnableStats) turned it on.
+	rec *obs.Recorder
 }
 
 // New builds a diagnosis session over a monitoring database.
@@ -182,6 +93,7 @@ func New(db *telemetry.DB, opts ...Option) (*System, error) {
 		cfg:    core.DefaultConfig(),
 		th:     explain.DefaultThresholds(),
 		maxHop: -1,
+		rec:    obs.New(),
 	}
 	for _, o := range opts {
 		o(s)
@@ -206,68 +118,37 @@ func New(db *telemetry.DB, opts ...Option) (*System, error) {
 		}
 		if s.brkCfg != nil {
 			s.breaker = resilience.NewBreaker(*s.brkCfg)
+			rec := s.rec
+			s.breaker.SetOnTrip(func() { rec.Add(obs.CtrBreakerTrips, 1) })
 		}
 		s.rsrc = resilience.NewSource(s.src, retry, s.breaker)
+		rec := s.rec
+		s.rsrc.SetHook(func(retried, failed bool) {
+			// Failed reads are counted by the training pass when it
+			// degrades them to missing data; only retried-to-success
+			// reads are invisible to it.
+			if retried {
+				rec.Add(obs.CtrReadRetries, 1)
+			}
+		})
 		s.src = s.rsrc
 	}
 	return s, nil
 }
 
-// SourceStats reports what the resilient read layer absorbed so far
-// (zero-valued when WithRetry/WithBreaker were not used).
-func (s *System) SourceStats() resilience.SourceStats {
-	if s.rsrc == nil {
-		return resilience.SourceStats{}
-	}
-	return s.rsrc.Stats()
-}
-
 // Graph exposes the relationship graph (entity count, cycles, …).
 func (s *System) Graph() *graph.Graph { return s.g }
 
-// RootCause is one diagnosed root cause with its explanation chain.
-type RootCause struct {
-	core.RootCause
-	// Explanation is the label-respecting causal chain from this root cause
-	// to the symptom entity, or empty when no chain exists.
-	Explanation string
-}
-
-// Report is the result of one diagnosis.
-type Report struct {
-	Symptom telemetry.Symptom
-	// Causes is the ranked root-cause list, most anomalous first. Fully
-	// certified causes come first; when the diagnosis degraded (deadline,
-	// faults, a panicking evaluation), anomaly-score-only fallback entries
-	// follow, flagged with Degraded=true — a degraded guess never displaces
-	// a certified cause.
-	Causes []RootCause
-	// Candidates is the pruned search space that was evaluated.
-	Candidates []telemetry.EntityID
-	// RecentChanges lists configuration changes in the training window;
-	// Murphy surfaces them so the operator can catch problems caused by
-	// recently spawned or reconfigured entities (§4.2 edge cases).
-	RecentChanges []telemetry.Event
-	// Partial is true when not every candidate was fully evaluated: the
-	// ranking is valid but may be incomplete.
-	Partial bool
-	// Skipped lists the candidates that were not fully evaluated and why
-	// (deadline exceeded, evaluator panic).
-	Skipped []core.SkippedCandidate
-	// ReadFailures counts telemetry reads that failed even after the
-	// resilience layer's retries; the affected series were treated as
-	// missing data during training.
-	ReadFailures int
-}
-
 // Diagnose trains the MRF online on the trailing window and runs the full
 // §4.2 inference for one symptom, then attaches explanation chains (§4.3).
+// It is DiagnoseContext with a background context (cfg.Timeout, when set,
+// still bounds the call).
 func (s *System) Diagnose(symptom telemetry.Symptom) (*Report, error) {
 	return s.DiagnoseContext(context.Background(), symptom)
 }
 
-// DiagnoseContext is Diagnose under cooperative cancellation, the
-// operational entry point for deadline-bound diagnoses:
+// DiagnoseContext is the canonical diagnosis entry point: Diagnose under
+// cooperative cancellation, for deadline-bound operation:
 //
 //   - A context deadline that expires mid-inference yields a *partial*
 //     Report, not an error: the causes certified so far stay ranked,
@@ -297,15 +178,19 @@ func (s *System) DiagnoseContext(ctx context.Context, symptom telemetry.Symptom)
 		since = 0
 	}
 	report := &Report{
+		SchemaVersion: SchemaVersion,
 		Symptom:       symptom,
 		Candidates:    diag.Candidates,
 		RecentChanges: s.db.EventsSince(since),
 		Partial:       diag.Partial,
-		Skipped:       diag.Skipped,
 		ReadFailures:  len(model.ReadFailures()),
 	}
+	for _, sk := range diag.Skipped {
+		report.Skipped = append(report.Skipped, Skipped{Entity: sk.Entity, Reason: sk.Reason})
+	}
+	sp := s.rec.StartStage(obs.StageExplain)
 	for _, c := range diag.Causes {
-		rc := RootCause{RootCause: c}
+		rc := causeFromCore(c)
 		if chain, ok := explain.Explain(labeler, s.g, c.Entity, symptom.Entity); ok {
 			rc.Explanation = chain.Render(s.db)
 		}
@@ -314,14 +199,15 @@ func (s *System) DiagnoseContext(ctx context.Context, symptom telemetry.Symptom)
 	// Degraded fallbacks ride at the tail: visible, flagged, never ahead of
 	// a certified cause. No explanation chains — their evaluation never ran.
 	for _, c := range diag.Degraded {
-		report.Causes = append(report.Causes, RootCause{RootCause: c})
+		report.Causes = append(report.Causes, causeFromCore(c))
 	}
+	sp.End()
 	return report, nil
 }
 
 // train fits the MRF through the configured read path.
 func (s *System) train(ctx context.Context) (*core.Model, error) {
-	opts := core.TrainOpts{Now: -1, Cache: s.cache}
+	opts := core.TrainOpts{Now: -1, Cache: s.cache, Obs: s.rec}
 	if plain, ok := s.src.(*telemetry.DB); !ok || plain != s.db {
 		// An interposed source (chaos, resilience, remote): route reads
 		// through it. The factor cache is bypassed on this path.
@@ -331,18 +217,19 @@ func (s *System) train(ctx context.Context) (*core.Model, error) {
 }
 
 // WhatIf answers the §7 performance-reasoning question: if the given entity
-// metrics were set to these values, what would the target metric become?
-// The prediction propagates the intervention through the relationship graph
-// with the configured number of Gibbs rounds (deterministically); predicted
-// is meaningful only when ok is true (some override can reach the target).
-// The returned current value is the target's value at the diagnosis slice.
+// metrics were set to these values, what would the target metric become? It
+// is WhatIfContext with a background context.
 func (s *System) WhatIf(overrides map[telemetry.EntityID]map[string]float64, target telemetry.EntityID, targetMetric string) (predicted, current float64, ok bool, err error) {
 	return s.WhatIfContext(context.Background(), overrides, target, targetMetric)
 }
 
-// WhatIfContext is WhatIf under cooperative cancellation (the online
-// training pass honors the context; the deterministic propagation itself is
-// fast and runs to completion).
+// WhatIfContext is the canonical what-if entry point, under cooperative
+// cancellation (the online training pass honors the context; the
+// deterministic propagation itself is fast and runs to completion). The
+// prediction propagates the intervention through the relationship graph with
+// the configured number of Gibbs rounds; predicted is meaningful only when
+// ok is true (some override can reach the target). The returned current
+// value is the target's value at the diagnosis slice.
 func (s *System) WhatIfContext(ctx context.Context, overrides map[telemetry.EntityID]map[string]float64, target telemetry.EntityID, targetMetric string) (predicted, current float64, ok bool, err error) {
 	model, err := s.train(ctx)
 	if err != nil {
@@ -366,10 +253,24 @@ func (s *System) FindSymptoms(app string) []telemetry.Symptom {
 	return out
 }
 
-// Top returns the first k causes of a report (or fewer).
-func (r *Report) Top(k int) []RootCause {
-	if k > len(r.Causes) {
-		k = len(r.Causes)
+// FactorCacheStats reports the factor cache's hit/miss counters. ok is false
+// when no factor cache is configured (WithCaching/WithFactorCache unused),
+// distinguishing "disabled" from a configured cache that has absorbed no
+// traffic yet.
+func (s *System) FactorCacheStats() (stats FactorCacheStats, ok bool) {
+	if s.cache == nil {
+		return FactorCacheStats{}, false
 	}
-	return r.Causes[:k]
+	return s.cache.Stats(), true
+}
+
+// SourceStats reports what the resilient read layer absorbed so far. ok is
+// false when no resilient read path is configured (WithResilience with a
+// retry policy or breaker unused), distinguishing "disabled" from a
+// configured layer that has absorbed nothing yet.
+func (s *System) SourceStats() (stats SourceStats, ok bool) {
+	if s.rsrc == nil {
+		return SourceStats{}, false
+	}
+	return s.rsrc.Stats(), true
 }

@@ -302,7 +302,10 @@ func TestWithSourceRetryAbsorbsChaos(t *testing.T) {
 	if !hit {
 		t.Fatalf("crawler/flow should survive chaos in the top causes: %+v", report.Causes)
 	}
-	st := sys.SourceStats()
+	st, ok := sys.SourceStats()
+	if !ok {
+		t.Fatal("SourceStats should report the resilient layer as configured")
+	}
 	if st.Retried == 0 {
 		t.Fatalf("retry layer absorbed nothing: %+v (injector %+v)", st, inj.Stats())
 	}
@@ -330,7 +333,10 @@ func TestWithBreakerDegradesDeadSource(t *testing.T) {
 	if report.ReadFailures == 0 {
 		t.Fatal("every read failed; the report should say so")
 	}
-	st := sys.SourceStats()
+	st, ok := sys.SourceStats()
+	if !ok {
+		t.Fatal("SourceStats should report the resilient layer as configured")
+	}
 	if st.Rejected == 0 {
 		t.Fatalf("breaker never opened: %+v", st)
 	}

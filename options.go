@@ -1,0 +1,199 @@
+package murphy
+
+import (
+	"murphy/internal/core"
+	"murphy/internal/explain"
+	"murphy/internal/resilience"
+	"murphy/internal/telemetry"
+)
+
+// Config re-exports the algorithm parameters of the MRF core; the zero value
+// of any field falls back to the paper's defaults.
+type Config = core.Config
+
+// DefaultConfig returns the paper's parameter choices (B=10 features, W=4
+// Gibbs rounds, 5000 Monte-Carlo samples, one-week training window).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// RetryPolicy configures the retry arm of the resilient telemetry read path
+// (attempt budget, backoff, jitter); it aliases the resilience layer's
+// Policy so external callers can construct one without reaching into
+// internal packages.
+type RetryPolicy = resilience.Policy
+
+// BreakerConfig tunes the circuit breaker of the resilient telemetry read
+// path; zero fields fall back to defaults suited to per-diagnosis reads.
+type BreakerConfig = resilience.BreakerConfig
+
+// SourceStats counts what the resilient read path absorbed (reads, retries,
+// failures, breaker rejections); see System.SourceStats.
+type SourceStats = resilience.SourceStats
+
+// FactorCache shares trained factors between Systems; see WithCaching.
+type FactorCache = core.FactorCache
+
+// FactorCacheStats reports a factor cache's hit/miss/occupancy counters; see
+// System.FactorCacheStats.
+type FactorCacheStats = core.FactorCacheStats
+
+// NewFactorCache builds a shareable trained-factor cache holding up to
+// capacity factors (<= 0 uses the default); entries are evicted LRU.
+func NewFactorCache(capacity int) *FactorCache { return core.NewFactorCache(capacity) }
+
+// Option customizes a System.
+type Option func(*System)
+
+// WithConfig overrides the algorithm parameters.
+func WithConfig(cfg Config) Option {
+	return func(s *System) { s.cfg = cfg }
+}
+
+// WithSeeds sets the entities the relationship graph is grown from
+// (typically the affected application's members, or the symptom entity).
+// When unset, the graph covers every entity in the database.
+func WithSeeds(seeds ...telemetry.EntityID) Option {
+	return func(s *System) { s.seeds = seeds }
+}
+
+// WithApp seeds the relationship graph with the tagged members of an
+// application, as operators do when a ticket names an affected app.
+func WithApp(db *telemetry.DB, app string) Option {
+	return func(s *System) { s.seeds = db.AppMembers(app) }
+}
+
+// WithMaxHops bounds the graph expansion from the seed set; negative (the
+// default) expands the reachable component. The paper's incident dataset
+// used four hops from the affected application.
+func WithMaxHops(h int) Option {
+	return func(s *System) { s.maxHop = h }
+}
+
+// WithThresholds overrides the explanation labeling thresholds.
+func WithThresholds(th explain.Thresholds) Option {
+	return func(s *System) { s.th = th }
+}
+
+// WithWorkers fans candidate evaluations out over n workers per Diagnose
+// call (n <= 1 stays sequential; results are identical either way, per the
+// independently seeded samplers).
+func WithWorkers(n int) Option {
+	return func(s *System) { s.workers = n }
+}
+
+// WithEarlyStop enables sequential significance testing at the given
+// confidence (0 uses the 0.999 default): each counterfactual test draws its
+// Monte-Carlo samples in batches and stops as soon as the verdict at Alpha
+// is decided with margin to spare, cutting the sample budget by an order of
+// magnitude for clear-cut candidates. Verdicts match the full-budget run in
+// practice (the margin keeps borderline candidates sampling), but reported
+// p-values come from the truncated sample. Apply after WithConfig.
+func WithEarlyStop(confidence float64) Option {
+	return func(s *System) {
+		s.cfg.EarlyStop = true
+		s.cfg.EarlyStopConfidence = confidence
+	}
+}
+
+// Resilience bundles the resilient telemetry read path: an optional
+// interposed source plus the retry/breaker layers that absorb its faults.
+// The zero value changes nothing; set only the parts you need.
+type Resilience struct {
+	// Source replaces the database as the online-training read path — a
+	// chaos injector in robustness drills, a remote collector in production.
+	// Nil keeps the (infallible) database reads.
+	Source telemetry.Source
+	// Retry wraps the reads in backoff-retries for transient faults
+	// (telemetry.ErrTransient). Nil adds no retry layer.
+	Retry *RetryPolicy
+	// Breaker adds a circuit breaker: a source failing persistently is
+	// given a cooldown (reads fail fast and degrade to missing data)
+	// instead of retry pressure. The breaker persists across Diagnose
+	// calls. Nil adds no breaker.
+	Breaker *BreakerConfig
+}
+
+// WithResilience configures the resilient telemetry read path in one bundle
+// (the survivor of WithSource/WithRetry/WithBreaker). Reads that still fail
+// after the configured resilience degrade to missing data and are reported
+// via Report.ReadFailures and System.SourceStats. The factor cache is
+// bypassed while a fallible read path is interposed (see WithCaching).
+func WithResilience(r Resilience) Option {
+	return func(s *System) {
+		if r.Source != nil {
+			s.src = r.Source
+		}
+		if r.Retry != nil {
+			p := *r.Retry
+			s.retry = &p
+		}
+		if r.Breaker != nil {
+			c := *r.Breaker
+			s.brkCfg = &c
+		}
+	}
+}
+
+// Caching bundles the trained-factor reuse configuration. Exactly one of
+// Shared or Capacity is consulted: a non-nil Shared wins.
+type Caching struct {
+	// Capacity caps this System's own factor cache (<= 0 uses the
+	// default). Ignored when Shared is set.
+	Capacity int
+	// Shared installs an existing cache, so several Systems over the same
+	// database (e.g. one per symptom seed set) share trained factors.
+	Shared *FactorCache
+}
+
+// WithCaching reuses trained factors across Diagnose and WhatIf calls (the
+// survivor of WithFactorCache/WithSharedFactorCache): Murphy retrains its
+// MRF online on every call, but between two calls at the same time slice
+// every factor comes out identical, so an operator triaging several symptoms
+// of one incident pays the ridge fits and feature selection only once.
+// Behavior-preserving: rankings are bit-identical with the cache on or off.
+// The cache is bypassed automatically while a fallible read path is
+// interposed (see core.FactorCache for why).
+func WithCaching(c Caching) Option {
+	return func(s *System) {
+		if c.Shared != nil {
+			s.cache = c.Shared
+			return
+		}
+		s.cache = core.NewFactorCache(c.Capacity)
+	}
+}
+
+// WithSource routes the online-training reads through src instead of the
+// database directly.
+//
+// Deprecated: use WithResilience(Resilience{Source: src}).
+func WithSource(src telemetry.Source) Option {
+	return func(s *System) { s.src = src }
+}
+
+// WithRetry wraps the training-window reads in a retry policy.
+//
+// Deprecated: use WithResilience(Resilience{Retry: &p}).
+func WithRetry(p RetryPolicy) Option {
+	return func(s *System) { s.retry = &p }
+}
+
+// WithBreaker adds a circuit breaker on the telemetry read path.
+//
+// Deprecated: use WithResilience(Resilience{Breaker: &cfg}).
+func WithBreaker(cfg BreakerConfig) Option {
+	return func(s *System) { s.brkCfg = &cfg }
+}
+
+// WithFactorCache gives this System its own trained-factor cache.
+//
+// Deprecated: use WithCaching(Caching{Capacity: capacity}).
+func WithFactorCache(capacity int) Option {
+	return func(s *System) { s.cache = core.NewFactorCache(capacity) }
+}
+
+// WithSharedFactorCache installs an existing trained-factor cache.
+//
+// Deprecated: use WithCaching(Caching{Shared: c}).
+func WithSharedFactorCache(c *FactorCache) Option {
+	return func(s *System) { s.cache = c }
+}

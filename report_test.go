@@ -1,0 +1,97 @@
+package murphy
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"murphy/internal/telemetry"
+)
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	sys := testSystem(t)
+	report, err := sys.Diagnose(demoSymptom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"schema_version": 1`) {
+		t.Errorf("serialized report missing stamped schema version:\n%s", buf.String())
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != SchemaVersion {
+		t.Errorf("SchemaVersion = %d, want %d", back.SchemaVersion, SchemaVersion)
+	}
+	if back.Symptom != report.Symptom {
+		t.Errorf("symptom mismatch: %v vs %v", back.Symptom, report.Symptom)
+	}
+	if len(back.Causes) != len(report.Causes) {
+		t.Fatalf("cause count %d vs %d", len(back.Causes), len(report.Causes))
+	}
+	for i, want := range report.Causes {
+		got := back.Causes[i]
+		if got.Entity != want.Entity || got.Score != want.Score ||
+			got.Explanation != want.Explanation || len(got.Path) != len(want.Path) {
+			t.Errorf("cause %d round-trip mismatch:\ngot  %+v\nwant %+v", i, got, want)
+		}
+		if got.PValue != want.PValue && !(math.IsNaN(got.PValue) && math.IsNaN(want.PValue)) {
+			t.Errorf("cause %d p-value %v vs %v", i, got.PValue, want.PValue)
+		}
+	}
+	if len(back.Candidates) != len(report.Candidates) {
+		t.Errorf("candidate count %d vs %d", len(back.Candidates), len(report.Candidates))
+	}
+}
+
+// Degraded causes carry NaN p-values and effects; JSON has no NaN, so the
+// wire format uses null and the round trip must restore NaN.
+func TestReportJSONDegradedNaN(t *testing.T) {
+	r := &Report{
+		Symptom: telemetry.Symptom{Entity: "web", Metric: "cpu_util", High: true},
+		Causes: []Cause{
+			{Entity: "backend", Score: 3.5, PValue: math.NaN(), Effect: math.NaN(),
+				Degraded: true, Reason: "insufficient history"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"p_value": null`) {
+		t.Errorf("NaN p-value should serialize as null:\n%s", buf.String())
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Causes) != 1 {
+		t.Fatalf("lost the degraded cause: %+v", back)
+	}
+	c := back.Causes[0]
+	if !math.IsNaN(c.PValue) || !math.IsNaN(c.Effect) {
+		t.Errorf("null should deserialize to NaN, got p=%v effect=%v", c.PValue, c.Effect)
+	}
+	if !c.Degraded || c.Reason != "insufficient history" {
+		t.Errorf("degradation fields lost: %+v", c)
+	}
+}
+
+func TestReadJSONRejectsNewerSchema(t *testing.T) {
+	in := strings.NewReader(`{"schema_version": 999, "symptom": {"entity": "x", "metric": "m", "high": true}}`)
+	if _, err := ReadJSON(in); err == nil {
+		t.Fatal("ReadJSON accepted a schema version from the future")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("ReadJSON accepted malformed input")
+	}
+}
