@@ -1,0 +1,143 @@
+package murphy
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"murphy/internal/telemetry"
+)
+
+// sameReport asserts two reports rank the same causes with bit-identical
+// verdicts.
+func sameReport(t *testing.T, label string, want, got *Report) {
+	t.Helper()
+	if len(want.Causes) != len(got.Causes) {
+		t.Fatalf("%s: %d causes vs %d", label, len(got.Causes), len(want.Causes))
+	}
+	for i := range want.Causes {
+		w, g := want.Causes[i], got.Causes[i]
+		if w.Entity != g.Entity ||
+			math.Float64bits(w.Score) != math.Float64bits(g.Score) ||
+			math.Float64bits(w.PValue) != math.Float64bits(g.PValue) ||
+			math.Float64bits(w.Effect) != math.Float64bits(g.Effect) {
+			t.Fatalf("%s: cause %d differs: %+v vs %+v", label, i, g, w)
+		}
+	}
+}
+
+// TestDiagnoseBatchMatchesSequential verifies the batch facade returns exactly
+// what per-symptom DiagnoseContext calls would, for every item.
+func TestDiagnoseBatchMatchesSequential(t *testing.T) {
+	symptoms := []telemetry.Symptom{
+		{Entity: "backend", Metric: telemetry.MetricCPU, High: true},
+		{Entity: "web", Metric: telemetry.MetricCPU, High: true},
+	}
+	seq := testSystem(t)
+	var want []*Report
+	for _, sym := range symptoms {
+		r, err := seq.DiagnoseContext(context.Background(), sym)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, r)
+	}
+	batch := testSystem(t)
+	items, err := batch.DiagnoseBatch(context.Background(), symptoms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != len(symptoms) {
+		t.Fatalf("%d items for %d symptoms", len(items), len(symptoms))
+	}
+	for i, item := range items {
+		if item.Symptom != symptoms[i] {
+			t.Fatalf("item %d echoes %+v", i, item.Symptom)
+		}
+		if item.Err != nil {
+			t.Fatalf("item %d: %v", i, item.Err)
+		}
+		sameReport(t, "batch item", want[i], item.Report)
+	}
+}
+
+// TestDiagnoseBatchPartialErrors verifies one bad symptom does not sink the
+// batch: it gets a per-item error, the others still produce reports.
+func TestDiagnoseBatchPartialErrors(t *testing.T) {
+	sys := testSystem(t)
+	items, err := sys.DiagnoseBatch(context.Background(), []telemetry.Symptom{
+		demoSymptom(),
+		{Entity: "ghost", Metric: telemetry.MetricCPU, High: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if items[0].Err != nil || items[0].Report == nil {
+		t.Fatalf("good symptom failed: %v", items[0].Err)
+	}
+	if items[1].Err == nil {
+		t.Fatal("unknown symptom entity should yield a per-item error")
+	}
+}
+
+// TestDiagnoseBatchEmpty pins the no-op contract.
+func TestDiagnoseBatchEmpty(t *testing.T) {
+	sys := testSystem(t)
+	items, err := sys.DiagnoseBatch(context.Background(), nil)
+	if err != nil || items != nil {
+		t.Fatalf("empty batch: items=%v err=%v", items, err)
+	}
+}
+
+// TestDiagnoseBatchCancelled verifies a cancelled context surfaces per item
+// once training is already paid for, and as a top-level error before.
+func TestDiagnoseBatchCancelled(t *testing.T) {
+	sys := testSystem(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sys.DiagnoseBatch(ctx, []telemetry.Symptom{demoSymptom()}); err == nil {
+		t.Fatal("cancelled context should fail the batch")
+	}
+}
+
+// TestWithParallelTrainingMatchesSerial is the facade-level determinism check:
+// WithParallelTraining and WithChains must leave single-chain verdicts
+// bit-identical and multi-chain rankings intact.
+func TestWithParallelTrainingMatchesSerial(t *testing.T) {
+	want, err := testSystem(t).Diagnose(demoSymptom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := testSystem(t, WithParallelTraining(4)).Diagnose(demoSymptom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReport(t, "parallel training", want, got)
+
+	chained, err := testSystem(t, WithParallelTraining(4), WithChains(4)).Diagnose(demoSymptom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chained.Causes) != len(want.Causes) {
+		t.Fatalf("chains=4: %d causes vs %d", len(chained.Causes), len(want.Causes))
+	}
+	for i := range want.Causes {
+		if chained.Causes[i].Entity != want.Causes[i].Entity {
+			t.Fatalf("chains=4: rank %d is %s, want %s", i, chained.Causes[i].Entity, want.Causes[i].Entity)
+		}
+	}
+}
+
+// TestWithWorkersZeroClamped verifies WithWorkers(0) degrades to the serial
+// path instead of panicking or spawning an unbounded pool.
+func TestWithWorkersZeroClamped(t *testing.T) {
+	want, err := testSystem(t).Diagnose(demoSymptom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := testSystem(t, WithWorkers(0)).Diagnose(demoSymptom())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameReport(t, "workers=0", want, got)
+}

@@ -530,6 +530,52 @@ func BenchmarkFastPathTable2(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Parallel training and multi-chain sampling
+
+// BenchmarkCoreTrainParallel times the training pool across worker counts on
+// the same workload as BenchmarkCoreTrainOnline; workers=1 is the serial
+// fallback path (no pool), so the suite exposes the pool's overhead directly.
+func BenchmarkCoreTrainParallel(b *testing.B) {
+	sc, err := microsim.Contention(microsim.DefaultContentionOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := graph.Build(sc.Result.DB, []telemetry.EntityID{sc.Symptom.Entity}, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchConfig()
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.TrainOpt(context.Background(), sc.Result.DB, g, cfg,
+					core.TrainOpts{Now: -1, Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDiagnoseChains times multi-chain Gibbs sampling across chain
+// counts; chains=1 is the untouched legacy single-stream sampler.
+func BenchmarkDiagnoseChains(b *testing.B) {
+	for _, chains := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("chains%d", chains), func(b *testing.B) {
+			cfg := benchConfig()
+			cfg.Chains = chains
+			m, sc := contentionModel(b, cfg)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := m.Diagnose(sc.Symptom); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Observability layer overhead
 
 // BenchmarkObsOverhead times the same diagnosis with the instrumentation

@@ -1,0 +1,161 @@
+// Command benchguard compares `go test -bench` output against a checked-in
+// baseline and fails when a guarded benchmark regresses beyond a tolerance.
+// It is a dependency-free stand-in for benchstat aimed at CI smoke runs: one
+// iteration per benchmark, generous tolerance, hard failure only on order-of-
+// magnitude slides.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'CoreDiagnose|FastPath' -benchtime 1x . | \
+//	    benchguard -baseline testdata/bench_baseline.txt -tolerance 4.0
+//
+//	benchguard -baseline testdata/bench_baseline.txt -input bench.txt -update
+//
+// The baseline file is the raw benchmark output format ("BenchmarkName N
+// ns/op"); -update rewrites it from the current input instead of comparing.
+// Benchmarks present on only one side are reported but never fail the run, so
+// adding or retiring benchmarks does not require touching the guard.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "testdata/bench_baseline.txt", "baseline benchmark output to compare against")
+		input     = flag.String("input", "-", "current benchmark output ('-' = stdin)")
+		tolerance = flag.Float64("tolerance", 4.0, "fail when current ns/op exceeds baseline by more than this factor")
+		update    = flag.Bool("update", false, "rewrite the baseline from the current input instead of comparing")
+	)
+	flag.Parse()
+
+	cur, err := readBench(*input)
+	if err != nil {
+		fatal(err)
+	}
+	if len(cur) == 0 {
+		fatal(fmt.Errorf("no benchmark lines in %s", *input))
+	}
+	if *update {
+		if err := writeBaseline(*baseline, cur); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchguard: wrote %d benchmarks to %s\n", len(cur), *baseline)
+		return
+	}
+	base, err := readBenchFile(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	failed := compare(os.Stdout, base, cur, *tolerance)
+	if failed > 0 {
+		fatal(fmt.Errorf("%d benchmark(s) regressed beyond %.1fx", failed, *tolerance))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+	os.Exit(1)
+}
+
+// parseBench extracts "BenchmarkX-N  iters  ns/op" rows from benchmark output.
+// The CPU-count suffix (-8) is stripped so baselines transfer across runners.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		// Find the "ns/op" pair; custom metrics follow and are ignored.
+		for i := 2; i+1 < len(fields); i += 2 {
+			if fields[i+1] != "ns/op" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad ns/op %q on %q", fields[i], sc.Text())
+			}
+			name := fields[0]
+			if cut := strings.LastIndex(name, "-"); cut > 0 {
+				if _, err := strconv.Atoi(name[cut+1:]); err == nil {
+					name = name[:cut]
+				}
+			}
+			out[name] = v
+			break
+		}
+	}
+	return out, sc.Err()
+}
+
+func readBench(path string) (map[string]float64, error) {
+	if path == "-" {
+		return parseBench(os.Stdin)
+	}
+	return readBenchFile(path)
+}
+
+func readBenchFile(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return parseBench(f)
+}
+
+func writeBaseline(path string, benches map[string]float64) error {
+	names := make([]string, 0, len(benches))
+	for n := range benches {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString("# benchguard baseline: single-iteration ns/op per benchmark.\n")
+	b.WriteString("# Regenerate: go test -run '^$' -bench <pattern> -benchtime 1x . | benchguard -update -baseline <this file>\n")
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s 1 %.0f ns/op\n", n, benches[n])
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+// compare prints one row per benchmark and returns how many regressed.
+func compare(w io.Writer, base, cur map[string]float64, tolerance float64) int {
+	names := make([]string, 0, len(cur))
+	for n := range cur {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	failed := 0
+	for _, n := range names {
+		b, ok := base[n]
+		if !ok {
+			fmt.Fprintf(w, "  new      %-55s %12.0f ns/op (no baseline)\n", n, cur[n])
+			continue
+		}
+		ratio := cur[n] / b
+		status := "ok"
+		if ratio > tolerance {
+			status = "REGRESS"
+			failed++
+		}
+		fmt.Fprintf(w, "  %-8s %-55s %12.0f ns/op vs %12.0f (%.2fx)\n", status, n, cur[n], b, ratio)
+	}
+	for n := range base {
+		if _, ok := cur[n]; !ok {
+			fmt.Fprintf(w, "  missing  %-55s (in baseline, not in current run)\n", n)
+		}
+	}
+	return failed
+}

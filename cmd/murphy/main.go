@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -35,6 +36,8 @@ func main() {
 		window   = flag.Int("window", 300, "online-training window (time slices)")
 		timeout  = flag.Duration("timeout", 0, "diagnosis deadline; on expiry the partial ranking is printed (0 = none)")
 		workers  = flag.Int("workers", 1, "parallel candidate evaluators (1 = sequential; results identical)")
+		trainW   = flag.Int("trainworkers", 0, "training-pass pool workers (0 = follow -workers; models bit-identical at any count)")
+		chains   = flag.Int("chains", 1, "independent Gibbs chains per counterfactual test (1 = single-stream sampler)")
 		retries  = flag.Int("retries", 0, "retry attempts for transient telemetry read faults (0 = no retry layer)")
 		cache    = flag.Bool("cache", false, "reuse trained factors across the diagnoses of this run (behavior-preserving)")
 		early    = flag.Float64("earlystop", 0, "early-stop confidence for the counterfactual tests, e.g. 0.999 (0 = full sample budget)")
@@ -86,6 +89,12 @@ func main() {
 	if *workers > 1 {
 		opts = append(opts, murphy.WithWorkers(*workers))
 	}
+	if *trainW != 0 {
+		opts = append(opts, murphy.WithParallelTraining(*trainW))
+	}
+	if *chains > 1 {
+		opts = append(opts, murphy.WithChains(*chains))
+	}
 	if *retries > 0 {
 		opts = append(opts, murphy.WithResilience(murphy.Resilience{
 			Retry: &murphy.RetryPolicy{MaxAttempts: *retries},
@@ -135,24 +144,30 @@ func main() {
 		}
 		fmt.Printf("found %d problematic symptom(s) in app %q\n", len(symptoms), *app)
 	}
-	for _, sym := range symptoms {
+	// One DiagnoseBatch call trains the MRF once and reuses the model (and
+	// the session's subgraph/factor caches) for every symptom, instead of
+	// paying the online training pass per symptom.
+	items, err := sys.DiagnoseBatch(context.Background(), symptoms)
+	if err != nil {
+		fatal(err)
+	}
+	for _, item := range items {
 		if *outFmt == "text" {
-			fmt.Printf("\n=== symptom: %s ===\n", sym)
+			fmt.Printf("\n=== symptom: %s ===\n", item.Symptom)
 		}
-		report, err := sys.Diagnose(sym)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "murphy: %v\n", err)
+		if item.Err != nil {
+			fmt.Fprintf(os.Stderr, "murphy: %v\n", item.Err)
 			continue
 		}
 		if *outFmt == "json" {
-			if err := report.WriteJSON(os.Stdout); err != nil {
+			if err := item.Report.WriteJSON(os.Stdout); err != nil {
 				fatal(err)
 			}
 		} else {
-			printReport(db, report, *topK)
+			printReport(db, item.Report, *topK)
 		}
 		if *stats {
-			fmt.Fprintf(os.Stderr, "--- pipeline breakdown: %s ---\n%s", sym, sys.Stats().Table())
+			fmt.Fprintf(os.Stderr, "--- pipeline breakdown: %s ---\n%s", item.Symptom, sys.Stats().Table())
 		}
 	}
 }

@@ -23,10 +23,11 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiments: fig5c, fig5d, table1, fig6b, fig6c, table2, fig7, fig8a, fig8b, scaling, sensitivity, cycles, fastpath, obsoverhead, all")
-		full  = flag.Bool("full", false, "use paper-scale parameters (slow)")
-		stats = flag.Bool("stats", false, "print the accumulated per-stage timing and counter breakdown at exit")
-		trace = flag.Bool("trace", false, "stream pipeline stage events to stderr as experiments run")
+		exp     = flag.String("exp", "all", "comma-separated experiments: fig5c, fig5d, table1, fig6b, fig6c, table2, fig7, fig8a, fig8b, scaling, sensitivity, cycles, fastpath, obsoverhead, trainscale, all")
+		full    = flag.Bool("full", false, "use paper-scale parameters (slow)")
+		stats   = flag.Bool("stats", false, "print the accumulated per-stage timing and counter breakdown at exit")
+		trace   = flag.Bool("trace", false, "stream pipeline stage events to stderr as experiments run")
+		jsonOut = flag.String("json", "", "write a machine-readable benchmark report (ns/op, samples/sec, speedups) to this file, e.g. BENCH_murphy.json")
 	)
 	flag.Parse()
 	if *stats || *trace {
@@ -42,6 +43,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "--- pipeline breakdown (all experiments) ---\n%s", obs.Global().Snapshot().Table())
 		}()
 	}
+	report := newBenchReport()
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(strings.ToLower(e))] = true
@@ -195,6 +197,7 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(res)
+		report.FastPath = fastPathReport(res)
 	}
 	if run("obsoverhead") {
 		opts := harness.DefaultObsOverheadOptions()
@@ -208,6 +211,19 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(res)
+	}
+	if run("trainscale") {
+		opts := harness.DefaultTrainScaleOptions()
+		if *full {
+			opts.Scenarios = 4
+			opts.Samples = 5000
+		}
+		res, err := harness.RunTrainScale(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res)
+		report.TrainScale = trainScaleReport(res)
 	}
 	if run("cycles") {
 		gen := enterprise.DefaultGenOptions()
@@ -224,6 +240,12 @@ func main() {
 			fail(err)
 		}
 		fmt.Print(res)
+	}
+	if *jsonOut != "" {
+		if err := writeBenchReport(*jsonOut, report); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote benchmark report to %s\n", *jsonOut)
 	}
 }
 

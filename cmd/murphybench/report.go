@@ -1,0 +1,106 @@
+// Machine-readable benchmark reporting (-json): murphybench serializes the
+// perf-relevant experiment results into one artifact (BENCH_murphy.json) so
+// the repo carries a comparable perf trajectory across commits.
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"time"
+
+	"murphy/internal/harness"
+)
+
+// benchReport is the top-level -json document. Experiments that did not run
+// are omitted, so a partial run still yields a valid report.
+type benchReport struct {
+	Schema      int              `json:"schema"`
+	GeneratedAt string           `json:"generated_at"`
+	GoVersion   string           `json:"go_version"`
+	NumCPU      int              `json:"num_cpu"`
+	GoMaxProcs  int              `json:"gomaxprocs"`
+	FastPath    *fastPathJSON    `json:"fastpath,omitempty"`
+	TrainScale  []trainScaleJSON `json:"trainscale,omitempty"`
+}
+
+// fastPathJSON summarizes the fastpath A/B experiment.
+type fastPathJSON struct {
+	Diagnoses         int     `json:"diagnoses"`
+	BaselineMs        float64 `json:"baseline_ms"`
+	CacheOnlyMs       float64 `json:"cache_only_ms"`
+	FastMs            float64 `json:"fast_ms"`
+	Speedup           float64 `json:"speedup"`
+	RankingsIdentical bool    `json:"rankings_identical"`
+	Top1Identical     bool    `json:"top1_identical"`
+	BaselineSamples   int     `json:"baseline_samples"`
+	FastSamples       int     `json:"fast_samples"`
+}
+
+// trainScaleJSON is one (workers, chains) point of the trainscale sweep.
+type trainScaleJSON struct {
+	Workers           int     `json:"workers"`
+	Chains            int     `json:"chains"`
+	TrainMs           float64 `json:"train_ms"`
+	DiagnoseMs        float64 `json:"diagnose_ms"`
+	NsPerDiagnose     int64   `json:"ns_per_diagnose"`
+	SamplesPerSec     float64 `json:"samples_per_sec"`
+	SpeedupVsSerial   float64 `json:"speedup_vs_serial"`
+	RankingsIdentical bool    `json:"rankings_identical"`
+	BitIdentical      bool    `json:"bit_identical"`
+}
+
+func newBenchReport() *benchReport {
+	return &benchReport{
+		Schema:      1,
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
+	}
+}
+
+func fastPathReport(r *harness.FastPathResult) *fastPathJSON {
+	return &fastPathJSON{
+		Diagnoses:         r.Diagnoses,
+		BaselineMs:        float64(r.BaselineTime) / float64(time.Millisecond),
+		CacheOnlyMs:       float64(r.CacheOnlyTime) / float64(time.Millisecond),
+		FastMs:            float64(r.FastTime) / float64(time.Millisecond),
+		Speedup:           r.Speedup,
+		RankingsIdentical: r.RankingsIdentical,
+		Top1Identical:     r.Top1Identical,
+		BaselineSamples:   r.BaselineSamples,
+		FastSamples:       r.FastSamples,
+	}
+}
+
+func trainScaleReport(r *harness.TrainScaleResult) []trainScaleJSON {
+	out := make([]trainScaleJSON, 0, len(r.Points))
+	for _, p := range r.Points {
+		pt := trainScaleJSON{
+			Workers:           p.Workers,
+			Chains:            p.Chains,
+			TrainMs:           float64(p.TrainTime) / float64(time.Millisecond),
+			DiagnoseMs:        float64(p.DiagTime) / float64(time.Millisecond),
+			SamplesPerSec:     p.SamplesPerSec,
+			SpeedupVsSerial:   p.Speedup,
+			RankingsIdentical: p.RankingsIdentical,
+			BitIdentical:      p.BitIdentical,
+		}
+		if r.Opts.Scenarios > 0 {
+			pt.NsPerDiagnose = (p.TrainTime + p.DiagTime).Nanoseconds() / int64(r.Opts.Scenarios)
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// writeBenchReport writes the report as indented JSON (trailing newline, so
+// the artifact diffs cleanly when checked in).
+func writeBenchReport(path string, r *benchReport) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

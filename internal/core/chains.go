@@ -1,0 +1,249 @@
+// Multi-chain Gibbs sampling: one candidate's factual and counterfactual
+// Monte-Carlo budgets are split across Config.Chains independent chains, each
+// with its own splitmix-derived RNG stream and its own arena, executed on up
+// to min(K, GOMAXPROCS) goroutines. Chain c always owns the same contiguous
+// slice of the budget and the same seed, and merges happen in chain order, so
+// for a fixed K the merged draws — and every verdict derived from them — are
+// bit-identical no matter how many goroutines actually ran.
+
+package core
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"murphy/internal/obs"
+	"murphy/internal/stats"
+	"murphy/internal/telemetry"
+)
+
+// splitmix64 is the SplitMix64 finalizer: a bijective avalanche of the seed
+// counter, the standard generator for deriving independent per-stream seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// chainSeed derives chain c's RNG seed from the candidate-pair base seed.
+// Consecutive chains land in unrelated parts of the splitmix sequence, so the
+// per-chain streams are statistically independent while staying a pure
+// function of (base, c).
+func chainSeed(base int64, c int) int64 {
+	return int64(splitmix64(uint64(base) + uint64(c)*0x9e3779b97f4a7c15))
+}
+
+// chainCount clamps the configured chain count to the sample budget (every
+// chain must own at least one draw).
+func (m *Model) chainCount(n int) int {
+	k := m.cfg.Chains
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// chainBounds returns the half-open budget slice [lo, hi) owned by chain c
+// when n draws are split across k chains: the first n%k chains get one extra.
+func chainBounds(n, k, c int) (int, int) {
+	q, r := n/k, n%k
+	lo := c*q + min(c, r)
+	hi := lo + q
+	if c < r {
+		hi++
+	}
+	return lo, hi
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// runChains executes fn(c, arena) for chains 0..k-1 on up to
+// min(k, GOMAXPROCS) goroutines. With one usable processor (or one chain) it
+// degrades to the plain inline loop reusing the caller's arena — no
+// goroutines, no extra arenas. In pooled mode every worker checks out its own
+// arena, and fn must confine its writes to chain c's own output slots; the
+// lowest-index error is returned, mirroring what a sequential run would hit
+// first.
+func (m *Model) runChains(ctx context.Context, k int, ar *arena, fn func(c int, ar *arena) error) error {
+	p := min(k, runtime.GOMAXPROCS(0))
+	if p <= 1 {
+		for c := 0; c < k; c++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(c, ar); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, k)
+	var nextMu sync.Mutex
+	next := 0
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			war := m.arenas.get()
+			defer m.arenas.put(war)
+			for {
+				nextMu.Lock()
+				c := next
+				next++
+				nextMu.Unlock()
+				if c >= k {
+					return
+				}
+				if err := ctx.Err(); err != nil {
+					errs[c] = err
+					continue
+				}
+				errs[c] = fn(c, war)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sampleFullChains is sampleFull with the two cfg.Samples budgets split across
+// K chains. Chain c draws its counterfactual slice and then its factual slice
+// from one per-chain RNG (the same CF-then-F order as the single-stream
+// sampler uses globally) and copies both into its owned segments of the merged
+// draw vectors; the batch t-test then runs on the merged vectors exactly as in
+// sampleFull.
+func (m *Model) sampleFullChains(ctx context.Context, a, d telemetry.EntityID, path []telemetry.EntityID, cf map[metricRef]float64, symRef metricRef, alt stats.Alternative, ar *arena) (stats.TTestResult, float64, int, error) {
+	n := m.cfg.Samples
+	k := m.chainCount(n)
+	base := m.cfg.Seed ^ int64(hashID(a))<<1 ^ int64(hashID(d))
+	d1 := make([]float64, n) // counterfactual draws
+	d2 := make([]float64, n) // factual draws
+	m.obs.Add(obs.CtrGibbsChains, int64(k))
+	err := m.runChains(ctx, k, ar, func(c int, car *arena) error {
+		lo, hi := chainBounds(n, k, c)
+		rng := rand.New(rand.NewSource(chainSeed(base, c)))
+		out, err := m.resampleSymptom(ctx, path, cf, symRef, rng, car, hi-lo)
+		if err != nil {
+			return err
+		}
+		copy(d1[lo:hi], out) // the factual pass below reuses the arena
+		out, err = m.resampleSymptom(ctx, path, m.current, symRef, rng, car, hi-lo)
+		if err != nil {
+			return err
+		}
+		copy(d2[lo:hi], out)
+		return nil
+	})
+	if err != nil {
+		return stats.TTestResult{}, 0, 0, err
+	}
+	res, err := stats.WelchTTest(d1, d2, alt)
+	if err != nil {
+		return stats.TTestResult{}, 0, 0, err
+	}
+	return res, stats.Mean(d2) - stats.Mean(d1), 2 * n, nil
+}
+
+// gibbsChain is one chain's state in the sequential multi-chain sampler: its
+// two RNG streams (counterfactual and factual, mirroring sampleEarlyStop's
+// independent streams), its share of the budget, and reusable buffers holding
+// the current round's draws until the in-order merge.
+type gibbsChain struct {
+	rngCF, rngF *rand.Rand
+	quota       int // total draws per side this chain owns
+	drawn       int // draws per side taken so far
+	cfD, fD     []float64
+}
+
+// sampleEarlyStopChains is the sequential test over K chains: each round,
+// every unfinished chain draws one counterfactual+factual batch pair (in
+// parallel), the batches merge into the streaming Welch state in chain order,
+// and the shared three-exit verdict (earlyStopVerdict) decides whether to
+// stop. Merging in chain order keeps the streaming moments a pure function of
+// (seed, K, rounds), so verdicts are bit-identical at any goroutine count.
+func (m *Model) sampleEarlyStopChains(ctx context.Context, a, d telemetry.EntityID, path []telemetry.EntityID, cf map[metricRef]float64, symRef metricRef, alt stats.Alternative, ar *arena, effScale float64) (stats.TTestResult, float64, int, error) {
+	n := m.cfg.Samples
+	k := m.chainCount(n)
+	base := m.cfg.Seed ^ int64(hashID(a))<<1 ^ int64(hashID(d))
+	chains := make([]*gibbsChain, k)
+	for c := 0; c < k; c++ {
+		lo, hi := chainBounds(n, k, c)
+		seed := chainSeed(base, c)
+		chains[c] = &gibbsChain{
+			rngCF: rand.New(rand.NewSource(seed)),
+			rngF:  rand.New(rand.NewSource(seed ^ 0x5e9c3779b97f4a7d)),
+			quota: hi - lo,
+		}
+	}
+	m.obs.Add(obs.CtrGibbsChains, int64(k))
+	zConf := stats.NormalQuantile(m.cfg.EarlyStopConfidence)
+	var st stats.StreamingWelch
+	minDraws := earlyStopMinSamples
+	if minDraws > n {
+		minDraws = n
+	}
+	decisive := false
+	for drawn := 0; drawn < n && !decisive; {
+		err := m.runChains(ctx, k, ar, func(c int, car *arena) error {
+			ch := chains[c]
+			b := min(earlyStopBatch, ch.quota-ch.drawn)
+			ch.cfD, ch.fD = ch.cfD[:0], ch.fD[:0]
+			if b == 0 {
+				return nil
+			}
+			out, err := m.resampleSymptom(ctx, path, cf, symRef, ch.rngCF, car, b)
+			if err != nil {
+				return err
+			}
+			ch.cfD = append(ch.cfD, out...)
+			out, err = m.resampleSymptom(ctx, path, m.current, symRef, ch.rngF, car, b)
+			if err != nil {
+				return err
+			}
+			ch.fD = append(ch.fD, out...)
+			ch.drawn += b
+			return nil
+		})
+		if err != nil {
+			return stats.TTestResult{}, 0, 0, err
+		}
+		for _, ch := range chains { // merge in chain order: deterministic moments
+			st.A.AddAll(ch.cfD)
+			st.B.AddAll(ch.fD)
+			drawn += len(ch.cfD)
+		}
+		if drawn < minDraws {
+			continue
+		}
+		if m.earlyStopVerdict(&st, alt, zConf, effScale) {
+			decisive = true
+		}
+	}
+	if decisive {
+		m.obs.Add(obs.CtrEarlyStopDecisive, 1)
+	} else {
+		m.obs.Add(obs.CtrEarlyStopExhausted, 1)
+	}
+	res, err := st.Test(alt)
+	if err != nil {
+		return stats.TTestResult{}, 0, 0, err
+	}
+	return res, st.B.Mean() - st.A.Mean(), st.A.Count() + st.B.Count(), nil
+}

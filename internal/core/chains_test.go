@@ -1,0 +1,158 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"murphy/internal/obs"
+	"murphy/internal/telemetry"
+)
+
+func TestChainBounds(t *testing.T) {
+	cases := []struct{ n, k int }{
+		{10, 1}, {10, 2}, {10, 3}, {10, 4}, {7, 7}, {300, 4}, {5, 2},
+	}
+	for _, tc := range cases {
+		prev := 0
+		total := 0
+		for c := 0; c < tc.k; c++ {
+			lo, hi := chainBounds(tc.n, tc.k, c)
+			if lo != prev {
+				t.Fatalf("n=%d k=%d chain %d: lo=%d, want %d (contiguous)", tc.n, tc.k, c, lo, prev)
+			}
+			if hi < lo {
+				t.Fatalf("n=%d k=%d chain %d: hi=%d < lo=%d", tc.n, tc.k, c, hi, lo)
+			}
+			if span := hi - lo; span != tc.n/tc.k && span != tc.n/tc.k+1 {
+				t.Fatalf("n=%d k=%d chain %d: span %d not balanced", tc.n, tc.k, c, span)
+			}
+			total += hi - lo
+			prev = hi
+		}
+		if total != tc.n {
+			t.Fatalf("n=%d k=%d: chains cover %d draws", tc.n, tc.k, total)
+		}
+	}
+}
+
+func TestChainSeedIndependence(t *testing.T) {
+	// Distinct chains of the same base must get distinct seeds, and the seed
+	// must be a pure function of (base, chain).
+	seen := map[int64]bool{}
+	for c := 0; c < 64; c++ {
+		s := chainSeed(12345, c)
+		if seen[s] {
+			t.Fatalf("chain %d: duplicate seed %d", c, s)
+		}
+		seen[s] = true
+		if s != chainSeed(12345, c) {
+			t.Fatalf("chain %d: seed not deterministic", c)
+		}
+	}
+	if chainSeed(1, 0) == chainSeed(2, 0) {
+		t.Fatal("different bases produced the same chain-0 seed")
+	}
+}
+
+func TestChainCountClamp(t *testing.T) {
+	m := &Model{cfg: Config{Chains: 8}}
+	if got := m.chainCount(3); got != 3 {
+		t.Errorf("chainCount(3) with Chains=8 = %d, want 3", got)
+	}
+	m.cfg.Chains = 0
+	if got := m.chainCount(100); got != 1 {
+		t.Errorf("chainCount with Chains=0 = %d, want 1", got)
+	}
+}
+
+// diagnoseChains trains on the shared chain DB with the given chain count and
+// early-stop setting and returns the diagnosis of the standard symptom.
+func diagnoseChains(t *testing.T, chains int, earlyStop bool) *Diagnosis {
+	t.Helper()
+	db := chainDB(t, 220, 5, 42)
+	g := chainGraph(t, db)
+	cfg := testConfig()
+	cfg.Chains = chains
+	cfg.EarlyStop = earlyStop
+	m, err := Train(db, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag, err := m.Diagnose(telemetry.Symptom{Entity: "back", Metric: telemetry.MetricCPU, High: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diag
+}
+
+// TestChainsSingleMatchesLegacy pins the compatibility contract: Chains=1 must
+// reproduce the single-stream sampler's bits exactly (the golden rankings
+// depend on them).
+func TestChainsSingleMatchesLegacy(t *testing.T) {
+	for _, es := range []bool{false, true} {
+		legacy := diagnoseChains(t, 0, es)
+		one := diagnoseChains(t, 1, es)
+		sameDiagnosis(t, "chains=1 vs legacy", legacy, one)
+	}
+}
+
+// TestChainsBitIdenticalAcrossProcs fixes the chain count and varies
+// GOMAXPROCS: the merged verdicts must be bit-identical whether the chains ran
+// inline on one processor or concurrently on four.
+func TestChainsBitIdenticalAcrossProcs(t *testing.T) {
+	old := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(old)
+	for _, es := range []bool{false, true} {
+		runtime.GOMAXPROCS(1)
+		inline := diagnoseChains(t, 4, es)
+		runtime.GOMAXPROCS(4)
+		pooled := diagnoseChains(t, 4, es)
+		sameDiagnosis(t, "chains across GOMAXPROCS", inline, pooled)
+	}
+}
+
+// TestChainsPreserveRankings allows chain counts to change p-value bits (they
+// use different RNG streams) but requires the certified ranked entity order to
+// survive: same causes, same order, at 1, 2 and 4 chains, for both samplers.
+func TestChainsPreserveRankings(t *testing.T) {
+	for _, es := range []bool{false, true} {
+		base := diagnoseChains(t, 1, es)
+		if len(base.Causes) == 0 {
+			t.Fatalf("earlyStop=%v: baseline found no causes", es)
+		}
+		for _, k := range []int{2, 4} {
+			diag := diagnoseChains(t, k, es)
+			if len(diag.Causes) != len(base.Causes) {
+				t.Fatalf("earlyStop=%v chains=%d: %d causes vs %d", es, k, len(diag.Causes), len(base.Causes))
+			}
+			for i := range base.Causes {
+				if diag.Causes[i].Entity != base.Causes[i].Entity {
+					t.Fatalf("earlyStop=%v chains=%d: rank %d is %s, want %s",
+						es, k, i, diag.Causes[i].Entity, base.Causes[i].Entity)
+				}
+			}
+		}
+	}
+}
+
+// TestChainsCounter verifies multi-chain sampling reports its chain spawns.
+func TestChainsCounter(t *testing.T) {
+	db := chainDB(t, 220, 5, 42)
+	g := chainGraph(t, db)
+	cfg := testConfig()
+	cfg.Chains = 4
+	m, err := Train(db, g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.New()
+	rec.Enable()
+	m.SetRecorder(rec)
+	if _, err := m.Diagnose(telemetry.Symptom{Entity: "back", Metric: telemetry.MetricCPU, High: true}); err != nil {
+		t.Fatal(err)
+	}
+	chains := rec.Counter(obs.CtrGibbsChains)
+	if chains == 0 || chains%4 != 0 {
+		t.Errorf("CtrGibbsChains = %d, want a positive multiple of 4", chains)
+	}
+}

@@ -60,6 +60,16 @@ type Config struct {
 	// sit Φ⁻¹(c) standard deviations past their thresholds. Zero (or out of
 	// range) defaults to 0.999 (≈3.1σ).
 	EarlyStopConfidence float64
+	// Chains splits each counterfactual test's factual and counterfactual
+	// Monte-Carlo draws across K independent Gibbs chains, each with its own
+	// splitmix-derived RNG stream and arena, executed on up to
+	// min(K, GOMAXPROCS) goroutines. For a fixed K the merged draws are
+	// bit-identical regardless of how many goroutines actually run (one
+	// included), so verdicts never depend on scheduling. 0 or 1 keeps the
+	// single-stream sampler — the historical bit pattern the golden rankings
+	// are pinned against; K >= 2 changes individual p-value bits (different
+	// RNG streams) but preserves the rankings on clear-cut workloads.
+	Chains int
 }
 
 // DefaultConfig returns the paper's parameter choices.

@@ -293,9 +293,14 @@ func (m *Model) evaluateCandidate(ctx context.Context, a telemetry.EntityID, sym
 		used    int
 		statErr error
 	)
-	if m.cfg.EarlyStop {
+	switch {
+	case m.cfg.EarlyStop && m.cfg.Chains > 1:
+		res, shift, used, statErr = m.sampleEarlyStopChains(ctx, a, d, path, cf, symRef, alt, ar, sign/scale)
+	case m.cfg.EarlyStop:
 		res, shift, used, statErr = m.sampleEarlyStop(ctx, a, d, path, cf, symRef, alt, ar, sign/scale)
-	} else {
+	case m.cfg.Chains > 1:
+		res, shift, used, statErr = m.sampleFullChains(ctx, a, d, path, cf, symRef, alt, ar)
+	default:
 		res, shift, used, statErr = m.sampleFull(ctx, a, d, path, cf, symRef, alt, ar)
 	}
 	if statErr != nil {
@@ -402,24 +407,9 @@ func (m *Model) sampleEarlyStop(ctx context.Context, a, d telemetry.EntityID, pa
 		if drawn < min {
 			continue
 		}
-		eff := effScale * (st.B.Mean() - st.A.Mean())
-		na, nb := float64(st.A.Count()), float64(st.B.Count())
-		effSE := math.Abs(effScale) * math.Sqrt(st.A.Variance()/na+st.B.Variance()/nb)
-		if eff+zConf*effSE < m.cfg.MinEffect {
+		if m.earlyStopVerdict(&st, alt, zConf, effScale) {
 			decisive = true
-			break // effect decisively below MinEffect: rejected whatever p says
-		}
-		sig, decided := st.Decisive(alt, m.cfg.Alpha, zConf)
-		if !decided {
-			continue
-		}
-		if !sig {
-			decisive = true
-			break // p decisively above Alpha: rejected no matter the effect
-		}
-		if eff-zConf*effSE > m.cfg.MinEffect {
-			decisive = true
-			break // both arms of the accept criterion are decided
+			break
 		}
 	}
 	if decisive {
@@ -432,6 +422,34 @@ func (m *Model) sampleEarlyStop(ctx context.Context, a, d telemetry.EntityID, pa
 		return stats.TTestResult{}, 0, 0, err
 	}
 	return res, st.B.Mean() - st.A.Mean(), st.A.Count() + st.B.Count(), nil
+}
+
+// earlyStopVerdict evaluates the three decisive exits of the sequential test
+// against the current streaming state (A = counterfactual draws, B = factual
+// draws), returning true when sampling can stop:
+//
+//   - the effect is decisively below MinEffect → rejected, whatever p says;
+//   - p is decisively above Alpha → rejected;
+//   - p is decisively below Alpha AND the effect is decisively above
+//     MinEffect → accepted.
+//
+// It is shared by the single-stream and the multi-chain sequential samplers so
+// both stop on exactly the same criteria.
+func (m *Model) earlyStopVerdict(st *stats.StreamingWelch, alt stats.Alternative, zConf, effScale float64) bool {
+	eff := effScale * (st.B.Mean() - st.A.Mean())
+	na, nb := float64(st.A.Count()), float64(st.B.Count())
+	effSE := math.Abs(effScale) * math.Sqrt(st.A.Variance()/na+st.B.Variance()/nb)
+	if eff+zConf*effSE < m.cfg.MinEffect {
+		return true // effect decisively below MinEffect: rejected whatever p says
+	}
+	sig, decided := st.Decisive(alt, m.cfg.Alpha, zConf)
+	if !decided {
+		return false
+	}
+	if !sig {
+		return true // p decisively above Alpha: rejected no matter the effect
+	}
+	return eff-zConf*effSE > m.cfg.MinEffect // both arms of the accept criterion decided
 }
 
 // counterfactualState returns a copy of the current state with candidate A's

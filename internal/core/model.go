@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -183,6 +184,11 @@ type TrainOpts struct {
 	// and counters now, inference spans on every later Diagnose call). Nil
 	// falls back to obs.Global(), which is disabled by default.
 	Obs *obs.Recorder
+	// Workers bounds the training worker pool that fans the per-series
+	// preprocessing and per-factor fits across cores. Zero or one runs the
+	// historical serial loop (no goroutines, no channels); any larger count
+	// produces bit-identical factors, so it is purely a latency knob.
+	Workers int
 }
 
 // TrainOpt is the general training entry point: TrainContext plus the
@@ -299,8 +305,18 @@ func trainAt(ctx context.Context, db *telemetry.DB, g *graph.Graph, cfg Config, 
 	// aligned with whenever observation began, which pollutes correlations.
 	// raws keeps the pre-fill copies so anomaly scoring can distinguish
 	// observed history from placeholders without a second read.
-	windows := make(map[metricRef][]float64)
-	raws := make(map[metricRef][]float64)
+	//
+	// Enumeration and raw reads stay serial: sources may be stateful (fault
+	// injectors, rate-limited collectors) and the order of recorded read
+	// failures is part of the model's contract. The pure per-series work —
+	// placeholder fill, centering for the Pearson ranking — fans out below.
+	type seriesPrep struct {
+		ref metricRef
+		raw []float64      // pre-fill copy (NaN = missing)
+		col []float64      // placeholder-filled training column
+		ctr stats.Centered // centered view of col
+	}
+	var prep []*seriesPrep
 	for _, id := range g.IDs() {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("core: training cancelled: %w", err)
@@ -308,33 +324,60 @@ func trainAt(ctx context.Context, db *telemetry.DB, g *graph.Graph, cfg Config, 
 		names := metricNames(id)
 		m.metricsOf[id] = names
 		for _, name := range names {
-			ref := metricRef{id, name}
 			w, err := readRaw(id, name)
 			if err != nil {
 				return nil, err
 			}
-			raws[ref] = append([]float64(nil), w...)
-			def := stats.Median(observedOnly(w))
-			if def != def {
-				def = 0 // nothing observed at all: the type default
-			}
-			for i, v := range w {
-				if v != v {
-					w[i] = def
-				}
-			}
-			windows[ref] = w
-			m.current[ref] = w[len(w)-1]
+			prep = append(prep, &seriesPrep{ref: metricRef{id, name}, raw: w})
 		}
+	}
+	workers := opts.Workers
+	if err := forEachIndex(ctx, workers, len(prep), func(i int) error {
+		p := prep[i]
+		p.col = append([]float64(nil), p.raw...)
+		def := stats.Median(observedOnly(p.raw))
+		if def != def {
+			def = 0 // nothing observed at all: the type default
+		}
+		for t, v := range p.col {
+			if v != v {
+				p.col[t] = def
+			}
+		}
+		p.ctr = stats.Center(p.col)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("core: training cancelled: %w", err)
+	}
+	windows := make(map[metricRef][]float64, len(prep))
+	raws := make(map[metricRef][]float64, len(prep))
+	centered := make(map[metricRef]*stats.Centered, len(prep))
+	for _, p := range prep {
+		windows[p.ref] = p.col
+		raws[p.ref] = p.raw
+		centered[p.ref] = &p.ctr
+		m.current[p.ref] = p.col[len(p.col)-1]
 	}
 
 	// Fit one factor per (entity, metric), consulting the factor cache when
 	// one is in play: a hit hands back the immutable trained factor and
 	// skips the correlation ranking, robust statistics, and the ridge fit.
+	// Jobs are assembled in graph order and each writes only its own slot,
+	// so the trained model is bit-identical whatever the pool size; the
+	// candidate list and its ranking tie-break keys are built once per
+	// entity (the tie-break used to call ref.String() inside the sort
+	// comparator — two string allocations per comparison).
+	type fitJob struct {
+		ref      metricRef
+		cand     []metricRef // shared across the entity's jobs
+		candKeys []string    // cand[i].String(), precomputed
+		candCtr  []*stats.Centered
+		ckey     factorCacheKey
+		useCache bool
+		out      *factor
+	}
+	var jobs []*fitJob
 	for _, id := range g.IDs() {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("core: training cancelled: %w", err)
-		}
 		inIDs := g.InIDs(id)
 		var nbrHash uint64
 		if cache != nil {
@@ -347,86 +390,133 @@ func trainAt(ctx context.Context, db *telemetry.DB, g *graph.Graph, cfg Config, 
 				cand = append(cand, metricRef{nb, name})
 			}
 		}
+		candKeys := make([]string, len(cand))
+		candCtr := make([]*stats.Centered, len(cand))
+		for i, c := range cand {
+			candKeys[i] = c.String()
+			candCtr[i] = centered[c]
+		}
 		for _, name := range m.metricsOf[id] {
-			ref := metricRef{id, name}
-			var ckey factorCacheKey
+			job := &fitJob{
+				ref:  metricRef{id, name},
+				cand: cand, candKeys: candKeys, candCtr: candCtr,
+			}
 			if cache != nil {
-				ckey = factorCacheKey{
+				job.useCache = true
+				job.ckey = factorCacheKey{
 					db: db, entity: id, metric: name,
 					lo: m.trainLo, hi: m.trainHi,
 					topB: cfg.TopB, lambda: cfg.Lambda, nbrHash: nbrHash,
 				}
-				if f, ok := cache.get(ckey); ok {
-					rec.Add(obs.CtrFactorCacheHits, 1)
-					m.factors[ref] = f
-					continue
-				}
-				rec.Add(obs.CtrFactorCacheMisses, 1)
 			}
-			y := windows[ref]
-			hm, hs := stats.MeanStd(y)
-			f := &factor{target: ref, hmean: hm, hstd: hs}
-			// Anomaly scoring uses only actually-observed history: an entity
-			// whose past was never recorded (newly spawned, or the Table 2
-			// missing-values corruption) must be judged against what was
-			// seen, not against the training-time placeholders.
-			obsY := observedOnly(raws[ref])
-			// The in-incident tail does not count as judgeable history: if
-			// everything observed is recent (post-erasure), normality cannot
-			// be certified.
-			if len(obsY) < n/4 {
-				f.novel = true
-				obsY = y
+			jobs = append(jobs, job)
+		}
+	}
+	pooled := workers > 1 && len(jobs) > 1
+	if err := forEachIndex(ctx, workers, len(jobs), func(jid int) error {
+		job := jobs[jid]
+		if job.useCache {
+			if f, ok := cache.get(job.ckey); ok {
+				rec.Add(obs.CtrFactorCacheHits, 1)
+				job.out = f
+				return nil
 			}
-			f.med = stats.Median(obsY)
-			f.madScale = 1.4826 * stats.MAD(obsY)
-			f.rscore = f.robustScoreAt(y[len(y)-1])
-			// Rank candidates by |corr| with the target; keep the top B
-			// (one-in-ten rule, §4.2).
-			type scored struct {
-				ref metricRef
-				r   float64
+			rec.Add(obs.CtrFactorCacheMisses, 1)
+		}
+		ref := job.ref
+		y := windows[ref]
+		yctr := centered[ref]
+		// The historical mean/std come from the centered view; the sum of
+		// squares was accumulated in MeanStd's order, so the bits match.
+		f := &factor{target: ref, hmean: yctr.Mean}
+		if len(y) >= 2 {
+			f.hstd = math.Sqrt(yctr.SumSq / float64(len(y)-1))
+		}
+		// Anomaly scoring uses only actually-observed history: an entity
+		// whose past was never recorded (newly spawned, or the Table 2
+		// missing-values corruption) must be judged against what was
+		// seen, not against the training-time placeholders.
+		obsY := observedOnly(raws[ref])
+		// The in-incident tail does not count as judgeable history: if
+		// everything observed is recent (post-erasure), normality cannot
+		// be certified.
+		if len(obsY) < n/4 {
+			f.novel = true
+			obsY = y
+		}
+		f.med = stats.Median(obsY)
+		f.madScale = 1.4826 * stats.MAD(obsY)
+		f.rscore = f.robustScoreAt(y[len(y)-1])
+		// Rank candidates by |corr| with the target — one dot product per
+		// pair over the precomputed centered columns; keep the top B
+		// (one-in-ten rule, §4.2).
+		rs := make([]float64, len(job.cand))
+		order := make([]int, len(job.cand))
+		for i := range job.cand {
+			rs[i] = stats.AbsPearsonCentered(job.candCtr[i], yctr)
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			ia, ib := order[a], order[b]
+			if rs[ia] != rs[ib] {
+				return rs[ia] > rs[ib]
 			}
-			ranked := make([]scored, 0, len(cand))
-			for _, c := range cand {
-				ranked = append(ranked, scored{c, stats.AbsPearson(windows[c], y)})
+			return job.candKeys[ia] < job.candKeys[ib]
+		})
+		b := cfg.TopB
+		if b > len(order) {
+			b = len(order)
+		}
+		feats := make([]metricRef, 0, b)
+		for _, i := range order[:b] {
+			if rs[i] > 0 {
+				feats = append(feats, job.cand[i])
 			}
-			sort.Slice(ranked, func(i, j int) bool {
-				if ranked[i].r != ranked[j].r {
-					return ranked[i].r > ranked[j].r
-				}
-				return ranked[i].ref.String() < ranked[j].ref.String()
-			})
-			b := cfg.TopB
-			if b > len(ranked) {
-				b = len(ranked)
-			}
-			feats := make([]metricRef, 0, b)
-			for _, s := range ranked[:b] {
-				if s.r > 0 {
-					feats = append(feats, s.ref)
-				}
-			}
-			f.features = feats
+		}
+		f.features = feats
+		featCols := make([][]float64, len(feats))
+		for j, fr := range feats {
+			featCols[j] = windows[fr]
+		}
+		model := trainer()
+		// The training windows already are the design matrix's columns: a
+		// trainer with the column fast path (the default ridge) consumes
+		// them directly; others get the row-major assembly.
+		var ferr error
+		if cf, ok := model.(regress.ColumnsFitter); ok {
+			ferr = cf.FitColumns(featCols, y)
+		} else {
 			x := make([][]float64, n)
 			for t := 0; t < n; t++ {
 				row := make([]float64, len(feats))
-				for j, fr := range feats {
-					row[j] = windows[fr][t]
+				for j := range feats {
+					row[j] = featCols[j][t]
 				}
 				x[t] = row
 			}
-			model := trainer()
-			if err := model.Fit(x, y); err != nil {
-				return nil, fmt.Errorf("core: fit factor %s: %w", ref, err)
-			}
-			f.model = model
-			m.factors[ref] = f
-			rec.Add(obs.CtrFactorsTrained, 1)
-			if cache != nil {
-				cache.put(ckey, f)
-			}
+			ferr = model.Fit(x, y)
 		}
+		if ferr != nil {
+			return fmt.Errorf("core: fit factor %s: %w", ref, ferr)
+		}
+		f.model = model
+		job.out = f
+		rec.Add(obs.CtrFactorsTrained, 1)
+		if pooled {
+			rec.Add(obs.CtrTrainParallelFits, 1)
+		}
+		if job.useCache {
+			cache.put(job.ckey, f)
+		}
+		return nil
+	}); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, fmt.Errorf("core: training cancelled: %w", err)
+		}
+		return nil, err
+	}
+	for _, job := range jobs {
+		m.factors[job.ref] = job.out
 	}
 	return m, nil
 }

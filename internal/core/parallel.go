@@ -40,6 +40,11 @@ func (m *Model) DiagnoseParallelContext(ctx context.Context, symptom telemetry.S
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers == 1 {
+		// One effective worker: the pool would only add goroutine/channel
+		// overhead around what is exactly the sequential evaluation loop.
+		return m.DiagnoseContext(ctx, symptom)
+	}
 	if m.cfg.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, m.cfg.Timeout)

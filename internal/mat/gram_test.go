@@ -1,0 +1,89 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomCols builds p feature columns of n rows plus the row-major design
+// matrix holding the same values.
+func randomCols(rng *rand.Rand, n, p int) ([][]float64, *Dense) {
+	cols := make([][]float64, p)
+	for j := range cols {
+		cols[j] = make([]float64, n)
+	}
+	x := NewDense(n, p)
+	for i := 0; i < n; i++ {
+		for j := 0; j < p; j++ {
+			v := rng.NormFloat64() * float64(1+j)
+			cols[j][i] = v
+			x.Set(i, j, v)
+		}
+	}
+	return cols, x
+}
+
+// TestGramColsBitIdentical checks GramCols against the row-major Gram at row
+// counts spanning the blocking boundary (gramBlockRows = 256). Bit identity is
+// required: the parallel trainer swaps one for the other and must not perturb
+// ridge solutions.
+func TestGramColsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 5, 255, 256, 257, 600} {
+		for _, p := range []int{1, 3, 10} {
+			cols, x := randomCols(rng, n, p)
+			want := Gram(x)
+			got := GramCols(cols)
+			for i := 0; i < p; i++ {
+				for j := 0; j < p; j++ {
+					if math.Float64bits(want.At(i, j)) != math.Float64bits(got.At(i, j)) {
+						t.Fatalf("n=%d p=%d: Gram[%d,%d] cols=%v rows=%v", n, p, i, j, got.At(i, j), want.At(i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMulVecColsBitIdentical checks MulVecCols against T().MulVec across the
+// same row counts.
+func TestMulVecColsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 5, 255, 256, 257, 600} {
+		cols, x := randomCols(rng, n, 4)
+		y := make([]float64, n)
+		for i := range y {
+			y[i] = rng.NormFloat64()
+		}
+		want, err := x.T().MulVec(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := MulVecCols(cols, y)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d: length %d != %d", n, len(got), len(want))
+		}
+		for j := range want {
+			if math.Float64bits(want[j]) != math.Float64bits(got[j]) {
+				t.Fatalf("n=%d: X'y[%d] cols=%v rows=%v", n, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestGramColsPanicsOnBadInput pins the contract violations: no columns, and
+// ragged columns.
+func TestGramColsPanicsOnBadInput(t *testing.T) {
+	assertPanics := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanics("empty", func() { GramCols(nil) })
+	assertPanics("ragged", func() { GramCols([][]float64{{1, 2}, {1}}) })
+	assertPanics("mulvec-ragged", func() { MulVecCols([][]float64{{1, 2}}, []float64{1}) })
+}

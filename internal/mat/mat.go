@@ -151,6 +151,70 @@ func Gram(x *Dense) *Dense {
 	return out
 }
 
+// gramBlockRows is the row-tile size of the blocked Gram kernels: big enough
+// to amortize the loop overhead, small enough that a tile of a dozen feature
+// columns stays in L1/L2 while every (i, j) pair sweeps it.
+const gramBlockRows = 256
+
+// GramCols returns X'X for a design matrix given as feature columns (each
+// column one feature, all of equal length). It is the column-major twin of
+// Gram, bit-identical to Gram on the row-major equivalent: for every output
+// element the products are accumulated over rows in ascending order, exactly
+// as Gram's row sweep does. Rows are processed in blocks so all pairwise
+// accumulations of a tile reuse cached column data, and symmetry is exploited
+// by computing only j >= i and mirroring.
+func GramCols(cols [][]float64) *Dense {
+	k := len(cols)
+	if k == 0 {
+		panic("mat: GramCols needs at least one column")
+	}
+	n := len(cols[0])
+	for i, c := range cols {
+		if len(c) != n {
+			panic(fmt.Sprintf("mat: GramCols ragged column %d: len %d != %d", i, len(c), n))
+		}
+	}
+	out := NewDense(k, k)
+	for lo := 0; lo < n; lo += gramBlockRows {
+		hi := lo + gramBlockRows
+		if hi > n {
+			hi = n
+		}
+		for i := 0; i < k; i++ {
+			ci := cols[i][lo:hi]
+			oi := out.data[i*k:]
+			for j := i; j < k; j++ {
+				cj := cols[j][lo:hi]
+				s := oi[j]
+				for r, v := range ci {
+					s += v * cj[r]
+				}
+				oi[j] = s
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			out.data[j*k+i] = out.data[i*k+j]
+		}
+	}
+	return out
+}
+
+// MulVecCols returns X'y for a design matrix given as feature columns: one
+// dot product per column, accumulated over rows in ascending order, so it is
+// bit-identical to x.T().MulVec(y) on the row-major equivalent.
+func MulVecCols(cols [][]float64, y []float64) []float64 {
+	out := make([]float64, len(cols))
+	for i, c := range cols {
+		if len(c) != len(y) {
+			panic(fmt.Sprintf("mat: MulVecCols column %d length %d != rhs %d", i, len(c), len(y)))
+		}
+		out[i] = Dot(c, y)
+	}
+	return out
+}
+
 // CholeskySolve solves A*x = b for symmetric positive-definite A. It returns
 // ErrSingular when the factorization fails (A not positive definite).
 // A and b are not modified.

@@ -95,6 +95,13 @@ const (
 	CtrReadRetries
 	CtrReadFailures
 	CtrBreakerTrips
+	// CtrTrainParallelFits counts factor fits executed while the training
+	// worker pool was active (pool size > 1); zero on serial training runs.
+	CtrTrainParallelFits
+	// CtrGibbsChains counts independent Gibbs chains launched by the
+	// multi-chain sampler (Config.Chains >= 2); zero on the single-stream
+	// sampler.
+	CtrGibbsChains
 	numCounters
 )
 
@@ -114,6 +121,8 @@ var counterNames = [numCounters]string{
 	"read_retries",
 	"read_failures",
 	"breaker_trips",
+	"train_parallel_fits",
+	"gibbs_chains",
 }
 
 // Name returns the stable snake_case counter name.

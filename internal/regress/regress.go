@@ -33,6 +33,16 @@ type Predictor interface {
 // Trainer so every entity factor gets its own model instance.
 type Trainer func() Predictor
 
+// ColumnsFitter is implemented by predictors that can train directly from
+// feature columns (each column one feature across all time slices), skipping
+// the row-major design matrix entirely. The MRF training pass holds its
+// telemetry windows as columns, so a ColumnsFitter avoids materializing and
+// then re-transposing an n×B row matrix per factor. Implementations must be
+// bit-identical to Fit on the transposed input.
+type ColumnsFitter interface {
+	FitColumns(cols [][]float64, y []float64) error
+}
+
 // ErrNoData is returned by Fit when the training set is empty or degenerate.
 var ErrNoData = errors.New("regress: no training data")
 
@@ -172,6 +182,87 @@ func (r *Ridge) Predict(x []float64) float64 {
 		p += r.coef[j] * (x[j] - r.featMean[j]) / r.featStd[j]
 	}
 	return p
+}
+
+// FitColumns trains the ridge from feature columns (cols[j][i] is feature j
+// at time slice i), bit-identical to Fit on the row-major transpose: the
+// standardization, the Gram/X'y accumulations (via the blocked column kernels
+// in internal/mat), the solve, and the residual pass all execute the same
+// floating-point operations in the same order. It exists for the training
+// hot path, which holds telemetry windows as columns and previously paid an
+// n×B row-matrix materialization plus a transpose per factor.
+func (r *Ridge) FitColumns(cols [][]float64, y []float64) error {
+	n := len(y)
+	if n == 0 {
+		return ErrNoData
+	}
+	nFeat := len(cols)
+	for _, c := range cols {
+		if len(c) != n {
+			return ErrNoData
+		}
+	}
+	if nFeat == 0 {
+		r.intercept = stats.Mean(y)
+		r.coef = nil
+		r.featMean, r.featStd = nil, nil
+		r.resid = stats.StdDev(y)
+		r.fitted = true
+		return nil
+	}
+	r.featMean = make([]float64, nFeat)
+	r.featStd = make([]float64, nFeat)
+	for j, c := range cols {
+		m, s := stats.MeanStd(c)
+		if s == 0 || math.IsNaN(s) {
+			s = 1
+		}
+		r.featMean[j], r.featStd[j] = m, s
+	}
+	ymean := stats.Mean(y)
+	zcols := make([][]float64, nFeat)
+	for j, c := range cols {
+		zc := make([]float64, n)
+		m, s := r.featMean[j], r.featStd[j]
+		for i, v := range c {
+			zc[i] = (v - m) / s
+		}
+		zcols[j] = zc
+	}
+	yc := make([]float64, n)
+	for i, v := range y {
+		yc[i] = v - ymean
+	}
+	g := mat.GramCols(zcols).AddDiag(r.Lambda + 1e-10)
+	zty := mat.MulVecCols(zcols, yc)
+	coef, err := mat.CholeskySolve(g, zty)
+	if err != nil {
+		coef, err = mat.Solve(g, zty)
+		if err != nil {
+			return fmt.Errorf("regress: ridge solve: %w", err)
+		}
+	}
+	r.coef = coef
+	r.intercept = ymean
+	r.fitted = true
+	// Residuals, matching residualStd(r.Predict, rows, y) bit for bit: the
+	// per-row prediction accumulates coefficient terms in feature order,
+	// exactly like Predict on the assembled row.
+	ss := 0.0
+	for i := 0; i < n; i++ {
+		p := r.intercept
+		for j := 0; j < nFeat; j++ {
+			p += r.coef[j] * (cols[j][i] - r.featMean[j]) / r.featStd[j]
+		}
+		d := y[i] - p
+		ss += d * d
+	}
+	s := math.Sqrt(ss / float64(n))
+	if math.IsNaN(s) || math.IsInf(s, 0) {
+		s = 0
+	}
+	r.resid = s
+	return nil
 }
 
 // ResidualStd returns the training residual standard deviation.

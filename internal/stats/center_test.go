@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAbsPearsonCenteredBitIdentical is the contract the parallel trainer
+// leans on: ranking candidates through precomputed centered views must produce
+// exactly the bits AbsPearson produces on the raw series.
+func TestAbsPearsonCenteredBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(400)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()*float64(1+trial%13) + float64(trial)
+			ys[i] = 0.3*xs[i] + rng.NormFloat64()
+		}
+		want := AbsPearson(xs, ys)
+		cx, cy := Center(xs), Center(ys)
+		got := AbsPearsonCentered(&cx, &cy)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("trial %d (n=%d): centered %v != raw %v", trial, n, got, want)
+		}
+	}
+}
+
+// TestAbsPearsonCenteredDegenerate pins the edge cases: constant series,
+// too-short series, and mismatched lengths all return 0 on both paths.
+func TestAbsPearsonCenteredDegenerate(t *testing.T) {
+	constant := []float64{5, 5, 5, 5}
+	varying := []float64{1, 2, 3, 4}
+	cases := []struct {
+		name   string
+		xs, ys []float64
+	}{
+		{"constant-x", constant, varying},
+		{"constant-y", varying, constant},
+		{"both-constant", constant, constant},
+		{"single-point", []float64{1}, []float64{2}},
+		{"empty", nil, nil},
+	}
+	for _, tc := range cases {
+		want := AbsPearson(tc.xs, tc.ys)
+		cx, cy := Center(tc.xs), Center(tc.ys)
+		got := AbsPearsonCentered(&cx, &cy)
+		if want != 0 || got != 0 {
+			t.Errorf("%s: raw=%v centered=%v, want both 0", tc.name, want, got)
+		}
+	}
+	// Mismatched lengths only arise on the centered path (AbsPearson's
+	// callers guarantee equal length); it must degrade to 0, not panic.
+	cx, cy := Center(varying), Center(varying[:3])
+	if got := AbsPearsonCentered(&cx, &cy); got != 0 {
+		t.Errorf("mismatched lengths: got %v, want 0", got)
+	}
+}
+
+// TestCenterSumSqMatchesMeanStd ties Center's accumulated sum of squares to
+// MeanStd: the trainer derives the factor's hstd from Center's SumSq, so the
+// two must agree bit-for-bit.
+func TestCenterSumSqMatchesMeanStd(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(300)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 40
+		}
+		mean, std := MeanStd(xs)
+		c := Center(xs)
+		if math.Float64bits(mean) != math.Float64bits(c.Mean) {
+			t.Fatalf("trial %d: mean %v != %v", trial, c.Mean, mean)
+		}
+		fromSumSq := math.Sqrt(c.SumSq / float64(n-1))
+		if math.Float64bits(std) != math.Float64bits(fromSumSq) {
+			t.Fatalf("trial %d: std from SumSq %v != MeanStd %v", trial, fromSumSq, std)
+		}
+	}
+}

@@ -75,6 +75,8 @@ type System struct {
 	breaker *resilience.Breaker
 	rsrc    *resilience.Source
 	workers int
+	// trainWorkers bounds the training-pass worker pool (0 = follow workers).
+	trainWorkers int
 	// cache, when set, carries trained factors across the Diagnose calls of
 	// this System (and any other System sharing the cache).
 	cache *core.FactorCache
@@ -163,7 +165,15 @@ func (s *System) DiagnoseContext(ctx context.Context, symptom telemetry.Symptom)
 	if err != nil {
 		return nil, err
 	}
+	return s.diagnoseWith(ctx, model, symptom)
+}
+
+// diagnoseWith runs inference + explanation for one symptom against an
+// already-trained model. It is the shared back half of DiagnoseContext and
+// DiagnoseBatch.
+func (s *System) diagnoseWith(ctx context.Context, model *core.Model, symptom telemetry.Symptom) (*Report, error) {
 	var diag *core.Diagnosis
+	var err error
 	if s.workers > 1 {
 		diag, err = model.DiagnoseParallelContext(ctx, symptom, s.workers)
 	} else {
@@ -205,9 +215,53 @@ func (s *System) DiagnoseContext(ctx context.Context, symptom telemetry.Symptom)
 	return report, nil
 }
 
+// BatchItem is one symptom's outcome within a DiagnoseBatch call: the report
+// when its diagnosis completed, or the error that stopped it. Exactly one of
+// Report and Err is set.
+type BatchItem struct {
+	Symptom telemetry.Symptom
+	Report  *Report
+	Err     error
+}
+
+// DiagnoseBatch diagnoses several symptoms of one incident against a single
+// online-trained model: the MRF is trained once (on the pool configured by
+// WithParallelTraining) and every symptom then reuses it — along with the
+// session's shortest-path subgraph cache and factor cache — instead of paying
+// the per-call retraining that separate Diagnose calls would. Per-symptom
+// failures (unknown entity, cancellation mid-inference) land in the item's
+// Err without aborting the remaining symptoms; the call itself errors only
+// when training fails, since then no symptom can be answered. Reports are
+// identical to what per-symptom DiagnoseContext calls at the same time slice
+// would produce.
+func (s *System) DiagnoseBatch(ctx context.Context, symptoms []telemetry.Symptom) ([]BatchItem, error) {
+	if len(symptoms) == 0 {
+		return nil, nil
+	}
+	model, err := s.train(ctx)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]BatchItem, len(symptoms))
+	for i, sym := range symptoms {
+		items[i].Symptom = sym
+		if err := ctx.Err(); err != nil {
+			items[i].Err = fmt.Errorf("murphy: diagnosis cancelled: %w", err)
+			continue
+		}
+		items[i].Report, items[i].Err = s.diagnoseWith(ctx, model, sym)
+	}
+	return items, nil
+}
+
 // train fits the MRF through the configured read path.
 func (s *System) train(ctx context.Context) (*core.Model, error) {
-	opts := core.TrainOpts{Now: -1, Cache: s.cache, Obs: s.rec}
+	opts := core.TrainOpts{Now: -1, Cache: s.cache, Obs: s.rec, Workers: s.trainWorkers}
+	if opts.Workers == 0 {
+		// Unset: a session that fans inference out across workers gets the
+		// same fan-out for its training fits.
+		opts.Workers = s.workers
+	}
 	if plain, ok := s.src.(*telemetry.DB); !ok || plain != s.db {
 		// An interposed source (chaos, resilience, remote): route reads
 		// through it. The factor cache is bypassed on this path.

@@ -1,6 +1,8 @@
 package murphy
 
 import (
+	"runtime"
+
 	"murphy/internal/core"
 	"murphy/internal/explain"
 	"murphy/internal/resilience"
@@ -74,10 +76,47 @@ func WithThresholds(th explain.Thresholds) Option {
 }
 
 // WithWorkers fans candidate evaluations out over n workers per Diagnose
-// call (n <= 1 stays sequential; results are identical either way, per the
-// independently seeded samplers).
+// call. n <= 1 (including WithWorkers(0)) is valid and stays on the serial
+// code path — no goroutines, no channels; results are identical either way,
+// per the independently seeded samplers.
 func WithWorkers(n int) Option {
-	return func(s *System) { s.workers = n }
+	return func(s *System) {
+		if n < 1 {
+			n = 1
+		}
+		s.workers = n
+	}
+}
+
+// WithParallelTraining fans the online training pass — per-series
+// preprocessing and per-factor ridge fits — out over n pool workers per
+// train. n <= 0 uses GOMAXPROCS. The trained model is bit-identical at any
+// worker count (deterministic job order, per-slot outputs), so this is purely
+// a latency knob; without it, training follows WithWorkers. The worker pool
+// composes with the factor cache and honors context cancellation mid-pool.
+func WithParallelTraining(n int) Option {
+	return func(s *System) {
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		s.trainWorkers = n
+	}
+}
+
+// WithChains splits each counterfactual test's factual and counterfactual
+// Monte-Carlo draws across k independent Gibbs chains with splitmix-derived
+// RNG streams, run on up to min(k, GOMAXPROCS) goroutines. For a fixed k the
+// verdicts are bit-identical at any goroutine count; k <= 1 keeps the
+// historical single-stream sampler (the default). Early stopping
+// (WithEarlyStop) still works: chain batches merge through the streaming
+// Welch test in chain order. Apply after WithConfig.
+func WithChains(k int) Option {
+	return func(s *System) {
+		if k < 1 {
+			k = 1
+		}
+		s.cfg.Chains = k
+	}
 }
 
 // WithEarlyStop enables sequential significance testing at the given
