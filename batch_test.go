@@ -2,7 +2,9 @@ package murphy
 
 import (
 	"context"
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"murphy/internal/telemetry"
@@ -61,22 +63,75 @@ func TestDiagnoseBatchMatchesSequential(t *testing.T) {
 	}
 }
 
-// TestDiagnoseBatchPartialErrors verifies one bad symptom does not sink the
-// batch: it gets a per-item error, the others still produce reports.
+// TestDiagnoseBatchPartialErrors is the error-isolation table: every kind of
+// per-item failure, at every position in the batch, must land in that item's
+// Err while the sibling symptoms still produce reports bit-identical to what
+// sequential DiagnoseContext calls return.
 func TestDiagnoseBatchPartialErrors(t *testing.T) {
-	sys := testSystem(t)
-	items, err := sys.DiagnoseBatch(context.Background(), []telemetry.Symptom{
-		demoSymptom(),
-		{Entity: "ghost", Metric: telemetry.MetricCPU, High: true},
-	})
-	if err != nil {
-		t.Fatal(err)
+	good := []telemetry.Symptom{
+		{Entity: "backend", Metric: telemetry.MetricCPU, High: true},
+		{Entity: "web", Metric: telemetry.MetricCPU, High: true},
 	}
-	if items[0].Err != nil || items[0].Report == nil {
-		t.Fatalf("good symptom failed: %v", items[0].Err)
+	seq := testSystem(t)
+	want := make([]*Report, len(good))
+	for i, sym := range good {
+		r, err := seq.DiagnoseContext(context.Background(), sym)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = r
 	}
-	if items[1].Err == nil {
-		t.Fatal("unknown symptom entity should yield a per-item error")
+
+	bad := []struct {
+		name    string
+		symptom telemetry.Symptom
+		errSub  string
+	}{
+		{
+			name:    "unknown entity",
+			symptom: telemetry.Symptom{Entity: "ghost", Metric: telemetry.MetricCPU, High: true},
+			errSub:  "not in relationship graph",
+		},
+		{
+			name:    "known entity without the symptom metric",
+			symptom: telemetry.Symptom{Entity: "backend", Metric: telemetry.MetricPktDrops, High: true},
+			errSub:  "no telemetry for symptom metric",
+		},
+	}
+	for _, tc := range bad {
+		for pos := 0; pos <= len(good); pos++ {
+			t.Run(fmt.Sprintf("%s at %d", tc.name, pos), func(t *testing.T) {
+				symptoms := append(append([]telemetry.Symptom{}, good[:pos]...), tc.symptom)
+				symptoms = append(symptoms, good[pos:]...)
+				items, err := testSystem(t).DiagnoseBatch(context.Background(), symptoms)
+				if err != nil {
+					t.Fatalf("batch aborted instead of isolating the bad item: %v", err)
+				}
+				if len(items) != len(symptoms) {
+					t.Fatalf("%d items for %d symptoms", len(items), len(symptoms))
+				}
+				gi := 0
+				for i, item := range items {
+					if item.Symptom != symptoms[i] {
+						t.Fatalf("item %d echoes %+v, want %+v", i, item.Symptom, symptoms[i])
+					}
+					if i == pos {
+						if item.Err == nil || item.Report != nil {
+							t.Fatalf("bad item: err=%v report=%v", item.Err, item.Report)
+						}
+						if !strings.Contains(item.Err.Error(), tc.errSub) {
+							t.Fatalf("bad item error %q does not mention %q", item.Err, tc.errSub)
+						}
+						continue
+					}
+					if item.Err != nil || item.Report == nil {
+						t.Fatalf("sibling %d sunk by the bad item: %v", i, item.Err)
+					}
+					sameReport(t, "sibling report", want[gi], item.Report)
+					gi++
+				}
+			})
+		}
 	}
 }
 

@@ -1,0 +1,145 @@
+// Command accguard is the CI accuracy guard: it reruns the fuzzed scenario
+// suite, compares the diagnosis precision/recall per scenario family against
+// the checked-in baseline, and exits non-zero on any drop beyond tolerance.
+// It is the accuracy-side sibling of benchguard: benchguard catches latency
+// regressions, accguard catches the silent kind — a change that keeps every
+// test green while degrading who gets blamed for incidents.
+//
+// Usage:
+//
+//	accguard -baseline testdata/acc_baseline.json -report acc_report.json
+//	accguard -update               # rewrite the baseline from a fresh run
+//	UPDATE_ACC_BASELINE=1 accguard # same, for CI-style invocation
+//
+// The suite is deterministic: the baseline records its base seed and suite
+// size, and the comparison run replays exactly those cases, so any diff is a
+// code change, never sampling noise. Improvements never fail the run; the
+// printed table shows them so the baseline can be ratcheted with -update.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"murphy/internal/harness"
+)
+
+func main() {
+	var (
+		baseline  = flag.String("baseline", "testdata/acc_baseline.json", "baseline accuracy file to compare against")
+		report    = flag.String("report", "", "also write the current run's accuracy JSON here (acc_report.json in CI)")
+		seed      = flag.Int64("seed", 1, "base seed of the fuzzed suite (used only with -update or a missing baseline)")
+		cases     = flag.Int("cases", 16, "cases per scenario family (used only with -update or a missing baseline)")
+		tolerance = flag.Float64("tolerance", 0.05, "maximum allowed drop per metric (absolute)")
+		update    = flag.Bool("update", false, "rewrite the baseline from a fresh run instead of comparing")
+	)
+	flag.Parse()
+	if os.Getenv("UPDATE_ACC_BASELINE") == "1" {
+		*update = true
+	}
+
+	if *update {
+		cur, err := harness.RunAccuracy(*seed, *cases)
+		if err != nil {
+			fatal(err)
+		}
+		if err := writeResult(*baseline, cur); err != nil {
+			fatal(err)
+		}
+		writeReport(*report, cur)
+		fmt.Printf("accguard: wrote baseline %s (seed=%d, %d cases/family)\n%s", *baseline, cur.Seed, cur.CasesPerFamily, cur)
+		return
+	}
+
+	base, err := readBaseline(*baseline)
+	if err != nil {
+		fatal(fmt.Errorf("%w (run with -update to create it)", err))
+	}
+	// Replay exactly the baseline's suite: same seed, same size.
+	cur, err := harness.RunAccuracy(base.Seed, base.CasesPerFamily)
+	if err != nil {
+		fatal(err)
+	}
+	writeReport(*report, cur)
+	fmt.Print(cur)
+	failed := compare(base, cur, *tolerance)
+	if failed > 0 {
+		fatal(fmt.Errorf("%d accuracy metric(s) dropped more than %.3f below baseline", failed, *tolerance))
+	}
+	fmt.Println("accguard: accuracy within tolerance of baseline")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "accguard: %v\n", err)
+	os.Exit(1)
+}
+
+func readBaseline(path string) (*harness.AccuracyResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return harness.ParseAccuracy(data)
+}
+
+func writeResult(path string, r *harness.AccuracyResult) error {
+	data, err := r.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func writeReport(path string, r *harness.AccuracyResult) {
+	if path == "" {
+		return
+	}
+	if err := writeResult(path, r); err != nil {
+		fatal(err)
+	}
+}
+
+// compare prints one row per (family, metric) and returns how many dropped
+// beyond tolerance. Families present on only one side are reported but never
+// fail the run, so adding a scenario family does not require touching the
+// guard.
+func compare(base, cur *harness.AccuracyResult, tolerance float64) int {
+	fams := make([]string, 0, len(base.Families))
+	for fam := range base.Families {
+		fams = append(fams, fam)
+	}
+	sort.Strings(fams)
+	failed := 0
+	for _, fam := range fams {
+		b := base.Families[fam]
+		c, ok := cur.Families[fam]
+		if !ok {
+			fmt.Printf("  missing  %-15s (in baseline, not in current suite)\n", fam)
+			continue
+		}
+		for _, m := range []struct {
+			name      string
+			base, cur float64
+		}{
+			{"precision", b.Precision, c.Precision},
+			{"top1", b.Top1, c.Top1},
+			{"top3", b.Top3, c.Top3},
+			{"top5", b.Top5, c.Top5},
+		} {
+			status := "ok"
+			if m.cur < m.base-tolerance {
+				status = "REGRESS"
+				failed++
+			}
+			fmt.Printf("  %-8s %-15s %-9s %.3f vs %.3f baseline\n", status, fam, m.name, m.cur, m.base)
+		}
+	}
+	for fam := range cur.Families {
+		if _, ok := base.Families[fam]; !ok {
+			fmt.Printf("  new      %-15s (no baseline row)\n", fam)
+		}
+	}
+	return failed
+}

@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: fig5c, fig5d, table1, fig6b, fig6c, table2, fig7, fig8a, fig8b, scaling, sensitivity, cycles, fastpath, obsoverhead, trainscale, all")
+		exp     = flag.String("exp", "all", "comma-separated experiments: fig5c, fig5d, table1, fig6b, fig6c, table2, fig7, fig8a, fig8b, scaling, sensitivity, cycles, fastpath, obsoverhead, trainscale, accuracy, all")
 		full    = flag.Bool("full", false, "use paper-scale parameters (slow)")
 		stats   = flag.Bool("stats", false, "print the accumulated per-stage timing and counter breakdown at exit")
 		trace   = flag.Bool("trace", false, "stream pipeline stage events to stderr as experiments run")
@@ -224,6 +224,18 @@ func main() {
 		}
 		fmt.Print(res)
 		report.TrainScale = trainScaleReport(res)
+	}
+	if run("accuracy") {
+		cases := 8
+		if *full {
+			cases = 32
+		}
+		res, err := harness.RunAccuracy(1, cases)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res)
+		report.Accuracy = res
 	}
 	if run("cycles") {
 		gen := enterprise.DefaultGenOptions()

@@ -22,6 +22,9 @@ type benchReport struct {
 	GoMaxProcs  int              `json:"gomaxprocs"`
 	FastPath    *fastPathJSON    `json:"fastpath,omitempty"`
 	TrainScale  []trainScaleJSON `json:"trainscale,omitempty"`
+	// Accuracy is the fuzzed-suite diagnosis accuracy (the same numbers
+	// cmd/accguard pins against testdata/acc_baseline.json).
+	Accuracy *harness.AccuracyResult `json:"accuracy,omitempty"`
 }
 
 // fastPathJSON summarizes the fastpath A/B experiment.

@@ -1,0 +1,72 @@
+package murphy
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"murphy/internal/telemetry"
+)
+
+// fuzzSeedReport builds a representative report for the corpus: certified and
+// degraded causes (NaN verdicts → null on the wire), skipped candidates,
+// recent changes, and a partial flag.
+func fuzzSeedReport() []byte {
+	r := &Report{
+		SchemaVersion: SchemaVersion,
+		Symptom:       telemetry.Symptom{Entity: "backend", Metric: telemetry.MetricCPU, High: true},
+		Causes: []Cause{
+			{Entity: "crawler", Score: 3.2, PValue: 0.0004, Effect: 0.8, Path: []telemetry.EntityID{"crawler", "flow", "backend"}, SamplesUsed: 600, Explanation: "crawler [heavy hitter] -> backend [degraded performance]"},
+			{Entity: "web", Score: 1.1, PValue: math.NaN(), Effect: math.NaN(), Degraded: true, Reason: "deadline exceeded"},
+		},
+		Candidates:    []telemetry.EntityID{"crawler", "flow", "web"},
+		RecentChanges: []telemetry.Event{{Slice: 3, Kind: telemetry.EventConfigChanged, Entity: "web", Detail: "resize"}},
+		Partial:       true,
+		Skipped:       []Skipped{{Entity: "web", Reason: "deadline exceeded"}},
+		ReadFailures:  2,
+	}
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReportReadJSON checks that report ingestion never panics on arbitrary
+// bytes, rejects future schema versions instead of misreading them, and that
+// any accepted report survives a write→read→write round trip with identical
+// serialized bytes.
+func FuzzReportReadJSON(f *testing.F) {
+	f.Add(fuzzSeedReport())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{not json`))
+	f.Add([]byte(`{"schema_version":9999,"symptom":{"entity":"x","metric":"cpu_util","high":true},"causes":[]}`))
+	f.Add([]byte(`{"schema_version":-1,"causes":[{"entity":"a","score":1,"p_value":null,"effect":null}]}`))
+	f.Add([]byte(`{"schema_version":1,"causes":[{"entity":"a","score":1e308,"p_value":5e-324,"effect":-1e308,"samples_used":-1}]}`))
+	f.Add([]byte(`{"schema_version":1,"recent_changes":[{"slice":-3,"kind":"spawned","entity":""}],"skipped":[{"entity":"","reason":""}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input is fine; panics and misreads are not
+		}
+		if r.SchemaVersion > SchemaVersion {
+			t.Fatalf("accepted report from future schema version %d", r.SchemaVersion)
+		}
+		var first bytes.Buffer
+		if err := r.WriteJSON(&first); err != nil {
+			t.Fatalf("accepted report failed to serialize: %v", err)
+		}
+		r2, err := ReadJSON(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("own output rejected: %v\n%s", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := r2.WriteJSON(&second); err != nil {
+			t.Fatalf("second serialize: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("write→read→write is not a fixed point:\n first: %s\nsecond: %s", first.String(), second.String())
+		}
+	})
+}

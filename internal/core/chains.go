@@ -28,6 +28,13 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// SplitMix64 exposes the engine's seed-derivation finalizer for scenario
+// generators and fuzzers: deriving every sub-seed (per scenario family, per
+// case index) through the same bijective avalanche the sampler uses keeps
+// fuzzed workloads deterministic and replayable from a single logged seed
+// without correlated RNG streams.
+func SplitMix64(x uint64) uint64 { return splitmix64(x) }
+
 // chainSeed derives chain c's RNG seed from the candidate-pair base seed.
 // Consecutive chains land in unrelated parts of the splitmix sequence, so the
 // per-chain streams are statistically independent while staying a pure
@@ -132,7 +139,7 @@ func (m *Model) runChains(ctx context.Context, k int, ar *arena, fn func(c int, 
 func (m *Model) sampleFullChains(ctx context.Context, a, d telemetry.EntityID, path []telemetry.EntityID, cf map[metricRef]float64, symRef metricRef, alt stats.Alternative, ar *arena) (stats.TTestResult, float64, int, error) {
 	n := m.cfg.Samples
 	k := m.chainCount(n)
-	base := m.cfg.Seed ^ int64(hashID(a))<<1 ^ int64(hashID(d))
+	base := m.pairSeed(a, d)
 	d1 := make([]float64, n) // counterfactual draws
 	d2 := make([]float64, n) // factual draws
 	m.obs.Add(obs.CtrGibbsChains, int64(k))
@@ -181,7 +188,7 @@ type gibbsChain struct {
 func (m *Model) sampleEarlyStopChains(ctx context.Context, a, d telemetry.EntityID, path []telemetry.EntityID, cf map[metricRef]float64, symRef metricRef, alt stats.Alternative, ar *arena, effScale float64) (stats.TTestResult, float64, int, error) {
 	n := m.cfg.Samples
 	k := m.chainCount(n)
-	base := m.cfg.Seed ^ int64(hashID(a))<<1 ^ int64(hashID(d))
+	base := m.pairSeed(a, d)
 	chains := make([]*gibbsChain, k)
 	for c := 0; c < k; c++ {
 		lo, hi := chainBounds(n, k, c)

@@ -4,7 +4,11 @@
 // entities are root causes of a problematic symptom (§4.2).
 package core
 
-import "time"
+import (
+	"time"
+
+	"murphy/internal/telemetry"
+)
 
 // Config collects the tunable parameters of Murphy's algorithm. The defaults
 // are the values the paper settled on.
@@ -60,6 +64,13 @@ type Config struct {
 	// sit Φ⁻¹(c) standard deviations past their thresholds. Zero (or out of
 	// range) defaults to 0.999 (≈3.1σ).
 	EarlyStopConfidence float64
+	// SeedFor, when non-nil, replaces the default per-candidate-pair RNG
+	// seed derivation (Seed mixed with hashes of the candidate and symptom
+	// entity IDs). It exists for metamorphic testing: a transform that
+	// renames entities can supply the original IDs' seeds so the sampling
+	// streams — and therefore every p-value bit — survive the rename.
+	// Production diagnoses should leave it nil.
+	SeedFor func(candidate, symptom telemetry.EntityID) int64
 	// Chains splits each counterfactual test's factual and counterfactual
 	// Monte-Carlo draws across K independent Gibbs chains, each with its own
 	// splitmix-derived RNG stream and arena, executed on up to

@@ -332,7 +332,7 @@ func (m *Model) evaluateCandidate(ctx context.Context, a telemetry.EntityID, sym
 // original sequential implementation bit-for-bit), one batch t-test.
 func (m *Model) sampleFull(ctx context.Context, a, d telemetry.EntityID, path []telemetry.EntityID, cf map[metricRef]float64, symRef metricRef, alt stats.Alternative, ar *arena) (stats.TTestResult, float64, int, error) {
 	n := m.cfg.Samples
-	rng := rand.New(rand.NewSource(m.cfg.Seed ^ int64(hashID(a))<<1 ^ int64(hashID(d))))
+	rng := rand.New(rand.NewSource(m.pairSeed(a, d)))
 	out1, err := m.resampleSymptom(ctx, path, cf, symRef, rng, ar, n) // counterfactual start
 	if err != nil {
 		return stats.TTestResult{}, 0, 0, err
@@ -378,7 +378,7 @@ const (
 // signed effect the accept criterion uses (±1/hstd of the symptom factor).
 func (m *Model) sampleEarlyStop(ctx context.Context, a, d telemetry.EntityID, path []telemetry.EntityID, cf map[metricRef]float64, symRef metricRef, alt stats.Alternative, ar *arena, effScale float64) (stats.TTestResult, float64, int, error) {
 	n := m.cfg.Samples
-	seed := m.cfg.Seed ^ int64(hashID(a))<<1 ^ int64(hashID(d))
+	seed := m.pairSeed(a, d)
 	rngCF := rand.New(rand.NewSource(seed))
 	rngF := rand.New(rand.NewSource(seed ^ 0x5e9c3779b97f4a7d)) // independent stream
 	zConf := stats.NormalQuantile(m.cfg.EarlyStopConfidence)
@@ -565,6 +565,24 @@ func (m *Model) resampleSymptom(ctx context.Context, path []telemetry.EntityID, 
 	}
 	m.obs.Add(obs.CtrGibbsSamples, int64(n))
 	return ar.ensure(symRef, n, start), nil
+}
+
+// pairSeed derives the RNG base seed for one (candidate, symptom) test:
+// cfg.Seed mixed with hashes of both entity IDs, or whatever cfg.SeedFor
+// says when the hook is set (metamorphic rename testing).
+func (m *Model) pairSeed(a, d telemetry.EntityID) int64 {
+	if m.cfg.SeedFor != nil {
+		return m.cfg.SeedFor(a, d)
+	}
+	return PairSeed(m.cfg.Seed, a, d)
+}
+
+// PairSeed is the default per-candidate-pair seed derivation: the configured
+// base seed mixed with stable hashes of the candidate and symptom entity IDs.
+// It is exported so metamorphic transforms that rename entities can install a
+// Config.SeedFor hook reproducing the original IDs' streams.
+func PairSeed(seed int64, a, d telemetry.EntityID) int64 {
+	return seed ^ int64(hashID(a))<<1 ^ int64(hashID(d))
 }
 
 // hashID gives a stable small hash of an entity ID for seeding.

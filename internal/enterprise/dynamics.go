@@ -123,10 +123,14 @@ func (e *Env) record(st *StepState) error {
 		for _, fl := range app.flows {
 			flowBytes[fl.id] = d*fl.bytesPerReq + st.extraFlowBytes[fl.id]
 		}
-		for fid, b := range flowBytes {
-			// Net accounting on endpoints, and port load of their hosts.
-			vmNet[app.client] += b
-			_ = fid
+		// Net accounting on the client endpoint: the client terminates every
+		// flow of its app. Summed in declaration order (client flow first,
+		// then the inter-tier flows) rather than by ranging over the map, so
+		// equal seeds replay to bit-identical telemetry — float addition is
+		// not associative and map iteration order is randomized.
+		vmNet[app.client] += flowBytes[app.clientFlow]
+		for _, fl := range app.flows {
+			vmNet[app.client] += flowBytes[fl.id]
 		}
 		// vNIC/net per VM: sum of adjacent flow bytes.
 		addNet := func(vmIx int, b float64) {

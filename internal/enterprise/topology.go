@@ -109,6 +109,9 @@ func (e *Env) DBVM(appIx int) telemetry.EntityID {
 	return a.vms[a.dbIx[0]].vm
 }
 
+// Client returns the external client VM of app i (the crawler of Fig 1).
+func (e *Env) Client(appIx int) telemetry.EntityID { return e.apps[appIx].client }
+
 // ClientFlow returns the client→web flow of app i.
 func (e *Env) ClientFlow(appIx int) telemetry.EntityID { return e.apps[appIx].clientFlow }
 

@@ -1,6 +1,7 @@
 package explain
 
 import (
+	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
@@ -106,24 +107,55 @@ func TestLabelNonFunctional(t *testing.T) {
 	}
 }
 
+// TestCanCauseStateMachine pins every transition of the Figure 4 label state
+// machine: all 25 (from, to) pairs, one row each, so any edit to canCause
+// shows up as a named transition flipping.
 func TestCanCauseStateMachine(t *testing.T) {
 	cases := []struct {
 		from, to Label
 		want     bool
 	}{
+		// Okay anchors nothing: a healthy entity explains no downstream state.
+		{Okay, Okay, false},
+		{Okay, HeavyHitter, false},
+		{Okay, HighDropRate, false},
+		{Okay, Degraded, false},
+		{Okay, NonFunctional, false},
+		// A heavy hitter propagates load and can produce every failure state,
+		// but cannot explain a healthy entity.
+		{HeavyHitter, Okay, false},
+		{HeavyHitter, HeavyHitter, true},
 		{HeavyHitter, HighDropRate, true},
 		{HeavyHitter, Degraded, true},
-		{HeavyHitter, HeavyHitter, true},
-		{HighDropRate, Degraded, true},
-		{Degraded, NonFunctional, true},
-		{Okay, Degraded, false},
-		{Degraded, HeavyHitter, false},
+		{HeavyHitter, NonFunctional, true},
+		// Drops degrade or kill what is behind them; they do not create load.
+		{HighDropRate, Okay, false},
 		{HighDropRate, HeavyHitter, false},
+		{HighDropRate, HighDropRate, false},
+		{HighDropRate, Degraded, true},
+		{HighDropRate, NonFunctional, true},
+		// Degradation cascades downstream but never manufactures load or drops.
+		{Degraded, Okay, false},
+		{Degraded, HeavyHitter, false},
+		{Degraded, HighDropRate, false},
+		{Degraded, Degraded, true},
+		{Degraded, NonFunctional, true},
+		// A dead component starves or kills its dependents.
+		{NonFunctional, Okay, false},
+		{NonFunctional, HeavyHitter, false},
+		{NonFunctional, HighDropRate, false},
+		{NonFunctional, Degraded, true},
+		{NonFunctional, NonFunctional, true},
+	}
+	if want, got := 25, len(cases); want != got {
+		t.Fatalf("transition table covers %d pairs, want %d", got, want)
 	}
 	for _, c := range cases {
-		if got := CanCause(c.from, c.to); got != c.want {
-			t.Fatalf("CanCause(%v, %v) = %v, want %v", c.from, c.to, got, c.want)
-		}
+		t.Run(fmt.Sprintf("%v->%v", c.from, c.to), func(t *testing.T) {
+			if got := CanCause(c.from, c.to); got != c.want {
+				t.Fatalf("CanCause(%v, %v) = %v, want %v", c.from, c.to, got, c.want)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"murphy/internal/metamorph"
+)
+
+// FamilyAccuracy is the accuracy of one fuzzed scenario family.
+type FamilyAccuracy struct {
+	// Cases is how many fuzzed cases were diagnosed.
+	Cases int `json:"cases"`
+	// Precision is the mean reciprocal rank of the first acceptable entity
+	// in the certified ranking (1.0 = always ranked first, 0 = never found).
+	Precision float64 `json:"precision"`
+	// Top1/Top3/Top5 are the fractions of cases with an acceptable entity
+	// in the top k of the certified ranking (top-k recall, §6.1).
+	Top1 float64 `json:"top1"`
+	Top3 float64 `json:"top3"`
+	Top5 float64 `json:"top5"`
+}
+
+// AccuracyResult is the diagnosis accuracy over the fuzzed scenario suite:
+// the numbers cmd/accguard pins in CI.
+type AccuracyResult struct {
+	// Seed is the base seed the suite expanded from.
+	Seed int64 `json:"seed"`
+	// CasesPerFamily is the suite size knob.
+	CasesPerFamily int `json:"cases_per_family"`
+	// Families maps family name to its accuracy.
+	Families map[string]FamilyAccuracy `json:"families"`
+}
+
+// RunAccuracy diagnoses casesPerFamily fuzzed scenarios of every metamorph
+// family with the reference configuration and scores the certified rankings
+// against each case's relaxed accept set.
+func RunAccuracy(seed int64, casesPerFamily int) (*AccuracyResult, error) {
+	if casesPerFamily <= 0 {
+		return nil, fmt.Errorf("harness: casesPerFamily must be positive")
+	}
+	out := &AccuracyResult{Seed: seed, CasesPerFamily: casesPerFamily, Families: make(map[string]FamilyAccuracy, len(metamorph.Families))}
+	for _, fam := range metamorph.Families {
+		var acc FamilyAccuracy
+		for i := 0; i < casesPerFamily; i++ {
+			c, err := metamorph.Generate(fam, i, seed)
+			if err != nil {
+				return nil, fmt.Errorf("harness: %w", err)
+			}
+			diag, err := metamorph.Diagnose(c, metamorph.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("harness: %s[%d] seed=%d: %w", fam, i, c.Seed, err)
+			}
+			rank := 0 // 1-based rank of the first acceptable entity
+			for k, id := range diag.Ranked() {
+				if c.Accept[id] {
+					rank = k + 1
+					break
+				}
+			}
+			acc.Cases++
+			if rank > 0 {
+				acc.Precision += 1 / float64(rank)
+				if rank <= 1 {
+					acc.Top1++
+				}
+				if rank <= 3 {
+					acc.Top3++
+				}
+				if rank <= 5 {
+					acc.Top5++
+				}
+			}
+		}
+		n := float64(acc.Cases)
+		acc.Precision /= n
+		acc.Top1 /= n
+		acc.Top3 /= n
+		acc.Top5 /= n
+		out.Families[fam] = acc
+	}
+	return out, nil
+}
+
+// String renders the accuracy table (one row per family, fixed order).
+func (r *AccuracyResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Diagnosis accuracy on the fuzzed scenario suite (seed=%d, %d cases/family)\n", r.Seed, r.CasesPerFamily)
+	fmt.Fprintf(&b, "%-15s %8s %8s %8s %8s\n", "family", "prec", "top1", "top3", "top5")
+	for _, fam := range familyOrder(r.Families) {
+		acc := r.Families[fam]
+		fmt.Fprintf(&b, "%-15s %8.3f %8.3f %8.3f %8.3f\n", fam, acc.Precision, acc.Top1, acc.Top3, acc.Top5)
+	}
+	return b.String()
+}
+
+// MarshalIndent renders the result as pretty JSON (the acc_baseline.json /
+// acc_report.json wire format).
+func (r *AccuracyResult) MarshalIndent() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// ParseAccuracy parses an accuracy JSON file written by MarshalIndent.
+func ParseAccuracy(data []byte) (*AccuracyResult, error) {
+	var r AccuracyResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parse accuracy JSON: %w", err)
+	}
+	if r.Families == nil {
+		return nil, fmt.Errorf("parse accuracy JSON: no families recorded")
+	}
+	return &r, nil
+}
+
+// familyOrder returns metamorph's fixed family order, with any extra keys
+// (a baseline written by a newer suite) appended alphabetically.
+func familyOrder(m map[string]FamilyAccuracy) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, fam := range metamorph.Families {
+		if _, ok := m[fam]; ok {
+			out = append(out, fam)
+			seen[fam] = true
+		}
+	}
+	var extra []string
+	for fam := range m {
+		if !seen[fam] {
+			extra = append(extra, fam)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}

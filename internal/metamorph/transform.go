@@ -1,0 +1,213 @@
+package metamorph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"murphy/internal/telemetry"
+	"murphy/internal/timeseries"
+)
+
+// Rename rewrites every entity ID to an order-preserving opaque name
+// ("ent-000042", assigned in sorted-ID order) and returns the transformed
+// case plus the inverse mapping (new → old). The rename is monotone on
+// purpose: the pipeline's deterministic tie-breaks (BFS over sorted neighbor
+// lists, score ties broken by entity ID) compare IDs lexicographically, so an
+// order-preserving rename must reproduce the reference diagnosis bit for bit
+// once the RNG seed hook replays the original IDs' streams. Entity names,
+// apps, and attrs are preserved — only IDs change.
+func Rename(c *Case) (*Case, map[telemetry.EntityID]telemetry.EntityID) {
+	ids := append([]telemetry.EntityID(nil), c.DB.Entities()...)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fwd := make(map[telemetry.EntityID]telemetry.EntityID, len(ids))
+	inv := make(map[telemetry.EntityID]telemetry.EntityID, len(ids))
+	for i, id := range ids {
+		nid := telemetry.EntityID(fmt.Sprintf("ent-%06d", i))
+		fwd[id], inv[nid] = nid, id
+	}
+	db := telemetry.NewDB(c.DB.IntervalSeconds)
+	for _, id := range c.DB.Entities() { // preserve insertion order
+		old := c.DB.Entity(id)
+		e := *old
+		e.ID = fwd[id]
+		if err := db.AddEntity(&e); err != nil {
+			panic("metamorph: rename: " + err.Error())
+		}
+		for _, name := range c.DB.MetricNames(id) {
+			if err := db.SetSeries(e.ID, name, c.DB.Series(id, name).Clone()); err != nil {
+				panic("metamorph: rename: " + err.Error())
+			}
+		}
+	}
+	for _, from := range c.DB.Entities() {
+		for _, to := range c.DB.OutNeighbors(from) {
+			if err := db.Associate(fwd[from], fwd[to], telemetry.Directed); err != nil {
+				panic("metamorph: rename: " + err.Error())
+			}
+		}
+	}
+	out := *c
+	out.DB = db
+	out.Symptom.Entity = fwd[c.Symptom.Entity]
+	out.Truth = fwd[c.Truth]
+	out.Accept = make(map[telemetry.EntityID]bool, len(c.Accept))
+	for id := range c.Accept {
+		out.Accept[fwd[id]] = true
+	}
+	return &out, inv
+}
+
+// PermuteEdges rebuilds the case's association edges in a seed-shuffled
+// insertion order. The monitoring DB's neighbor accessors sort their output,
+// so edge-insertion order must be immaterial: the transformed case must
+// diagnose bit-identically.
+func PermuteEdges(c *Case, seed int64) *Case {
+	type edge struct{ from, to telemetry.EntityID }
+	var edges []edge
+	for _, from := range c.DB.Entities() {
+		for _, to := range c.DB.OutNeighbors(from) {
+			edges = append(edges, edge{from, to})
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(edges), func(i, j int) { edges[i], edges[j] = edges[j], edges[i] })
+	db := c.DB.Clone()
+	db.RemoveAllEdges()
+	for _, e := range edges {
+		if err := db.Associate(e.from, e.to, telemetry.Directed); err != nil {
+			panic("metamorph: permute: " + err.Error())
+		}
+	}
+	out := *c
+	out.DB = db
+	return &out
+}
+
+// rescalableMetrics are the metric names whose units are environment-defined
+// (milliseconds vs seconds, bytes vs kilobytes): the pipeline must tolerate a
+// positive linear rescaling of any of them. Metrics with absolute semantics
+// (utilization fractions, drop rates, session counts — the conservative
+// pruning thresholds of §4.2's footnote) are excluded: scaling those
+// legitimately changes what counts as anomalous.
+var rescalableMetrics = []string{
+	telemetry.MetricLatency,
+	telemetry.MetricRPS,
+	telemetry.MetricRTT,
+	telemetry.MetricThroughput,
+	telemetry.MetricNetTx,
+	telemetry.MetricNetRx,
+	telemetry.MetricDiskRead,
+	telemetry.MetricDiskWrite,
+}
+
+// Rescale multiplies every unit-bearing metric by a per-metric power-of-two
+// factor drawn from the seed (the same factor for every entity carrying the
+// metric, as a real unit change would). Power-of-two factors keep the
+// float64 mantissas exact, so the only drift the pipeline sees is the ridge
+// penalty's mild scale sensitivity; the certified root-cause set must
+// survive.
+func Rescale(c *Case, seed int64) *Case {
+	rng := rand.New(rand.NewSource(seed))
+	factors := make(map[string]float64, len(rescalableMetrics))
+	choices := []float64{0.25, 0.5, 2, 4}
+	for _, name := range rescalableMetrics {
+		factors[name] = choices[rng.Intn(len(choices))]
+	}
+	db := c.DB.Clone()
+	for _, id := range db.Entities() {
+		for _, name := range db.MetricNames(id) {
+			f, ok := factors[name]
+			if !ok {
+				continue
+			}
+			s := db.Series(id, name)
+			vals := s.Values()
+			scaled := make([]float64, len(vals))
+			for i, v := range vals {
+				if timeseries.IsMissing(v) {
+					scaled[i] = v
+					continue
+				}
+				scaled[i] = v * f
+			}
+			if err := db.SetSeries(id, name, timeseries.FromValues(scaled)); err != nil {
+				panic("metamorph: rescale: " + err.Error())
+			}
+		}
+	}
+	out := *c
+	out.DB = db
+	return &out
+}
+
+// InjectDecoys adds 1–3 wildly anomalous entities that have no association
+// with anything: disconnected telemetry the relationship graph must never
+// reach from the symptom. The diagnosis must be bit-identical.
+func InjectDecoys(c *Case, seed int64) *Case {
+	rng := rand.New(rand.NewSource(seed))
+	db := c.DB.Clone()
+	n := 1 + rng.Intn(3)
+	steps := db.Len()
+	for i := 0; i < n; i++ {
+		id := telemetry.EntityID(fmt.Sprintf("decoy/disconnected-%d", i))
+		if err := db.AddEntity(&telemetry.Entity{ID: id, Type: telemetry.TypeContainer, Name: string(id)}); err != nil {
+			panic("metamorph: decoy: " + err.Error())
+		}
+		for _, name := range []string{telemetry.MetricCPU, telemetry.MetricLatency} {
+			s := timeseries.New()
+			level := rng.Float64()
+			for t := 0; t < steps; t++ {
+				v := level + rng.NormFloat64()*0.01
+				if t >= c.FaultStart { // spike exactly in the incident window
+					v += 10 + rng.Float64()*10
+				}
+				s.Set(t, v)
+			}
+			if err := db.SetSeries(id, name, s); err != nil {
+				panic("metamorph: decoy: " + err.Error())
+			}
+		}
+	}
+	out := *c
+	out.DB = db
+	return &out
+}
+
+// AblateTruth erases the incident's evidence at its source: every metric of
+// the true-cause entity is flattened to its pre-fault mean from FaultStart
+// on. With the causal signal gone the pipeline may certify fewer causes but
+// must never certify a new one — and never the ablated truth itself.
+func AblateTruth(c *Case) *Case {
+	db := c.DB.Clone()
+	for _, name := range db.MetricNames(c.Truth) {
+		s := db.Series(c.Truth, name)
+		vals := s.Values()
+		if c.FaultStart <= 0 || c.FaultStart >= len(vals) {
+			continue
+		}
+		sum, n := 0.0, 0
+		for _, v := range vals[:c.FaultStart] {
+			if timeseries.IsMissing(v) {
+				continue
+			}
+			sum += v
+			n++
+		}
+		if n == 0 {
+			continue
+		}
+		mean := sum / float64(n)
+		flat := make([]float64, len(vals))
+		copy(flat, vals[:c.FaultStart])
+		for t := c.FaultStart; t < len(vals); t++ {
+			flat[t] = mean
+		}
+		if err := db.SetSeries(c.Truth, name, timeseries.FromValues(flat)); err != nil {
+			panic("metamorph: ablate: " + err.Error())
+		}
+	}
+	out := *c
+	out.DB = db
+	return &out
+}

@@ -1,6 +1,7 @@
 package microsim
 
 import (
+	"bytes"
 	"math/rand"
 	"testing"
 
@@ -295,5 +296,48 @@ func TestSocialEntityCountNearPaper(t *testing.T) {
 	// paper reports 57 total entities for this app — same order.
 	if got := res.DB.NumEntities(); got < 50 || got > 60 {
 		t.Fatalf("social entity count = %d, want ~57", got)
+	}
+}
+
+// simSnapshot runs a faulted hotel-reservation sim from one seed and returns
+// the telemetry snapshot bytes.
+func simSnapshot(t *testing.T, seed int64) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	sim := &Sim{
+		Topo:  HotelReservation(),
+		Steps: 60,
+		Workloads: []*Workload{
+			{Name: "c", Entry: "frontend", RPS: ConstantRPS(100, 5, rng)},
+			{Name: "burst", Entry: "frontend", RPS: StepRPS(10, 200, 40, 55, 2, rng)},
+		},
+		Faults:    []Fault{{Service: "rate", Kind: FaultCPU, Intensity: 0.5, Start: 40, Duration: 20}},
+		Seed:      seed,
+		NoiseFrac: 0.02,
+	}
+	res, err := sim.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.DB.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSimSeedSnapshotDeterminism pins the replay contract the fuzzed scenario
+// suite relies on: a sim built and run twice from one seed (including the
+// workload RPS generators, which draw from their own seeded rng) must produce
+// byte-identical telemetry snapshots, so a fuzz failure replays exactly from
+// its logged (family, index, seed) coordinates.
+func TestSimSeedSnapshotDeterminism(t *testing.T) {
+	a := simSnapshot(t, 11)
+	b := simSnapshot(t, 11)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different telemetry snapshots")
+	}
+	if c := simSnapshot(t, 12); bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical snapshots (seed unused?)")
 	}
 }

@@ -102,6 +102,14 @@ func (tp *Topology) Validate() error {
 	return nil
 }
 
+// NewTopology assembles a custom topology from service definitions. The
+// declaration order of defs becomes the deterministic iteration order, as in
+// the built-in topologies; the scenario fuzzer uses it to compose synthetic
+// call chains.
+func NewTopology(app string, nodes map[string]float64, defs []*ServiceDef, entry ...string) *Topology {
+	return newTopology(app, nodes, defs, entry...)
+}
+
 func newTopology(app string, nodes map[string]float64, defs []*ServiceDef, entry ...string) *Topology {
 	tp := &Topology{App: app, Services: make(map[string]*ServiceDef, len(defs)), Nodes: nodes, Entrypoints: entry}
 	for _, d := range defs {
