@@ -4,7 +4,11 @@
 // metrics, so `go test -bench=. -benchmem` both times the pipelines and
 // reports the reproduced numbers. Run cmd/murphybench -full for the
 // paper-scale parameters.
-package murphy
+//
+// This file is an *external* test package (murphy_test) on purpose: it pulls
+// in internal/harness, which reaches the facade through internal/serve, and
+// an in-package test would close that import loop.
+package murphy_test
 
 import (
 	"context"

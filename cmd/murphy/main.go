@@ -21,6 +21,7 @@ import (
 
 	"murphy"
 	"murphy/internal/graph"
+	"murphy/internal/serve"
 	"murphy/internal/telemetry"
 )
 
@@ -127,11 +128,22 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// SIGINT/SIGTERM cancels the diagnosis context: DiagnoseBatch returns
+	// its partial results promptly and the observability listener (when one
+	// is up) is shut down gracefully instead of dying mid-scrape.
+	ctx, stop := serve.SignalContext(context.Background())
+	defer stop()
+	var obsSrv *http.Server
 	if *listen != "" {
-		mux := sys.ObservabilityMux(true)
+		obsSrv = &http.Server{Addr: *listen, Handler: sys.ObservabilityMux(true)}
 		go func() {
-			if err := http.ListenAndServe(*listen, mux); err != nil {
+			if err := obsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintf(os.Stderr, "murphy: observability listener: %v\n", err)
+			}
+		}()
+		defer func() {
+			if err := serve.ShutdownHTTP(obsSrv, 5*time.Second); err != nil {
+				fmt.Fprintf(os.Stderr, "murphy: observability shutdown: %v\n", err)
 			}
 		}()
 		fmt.Fprintf(os.Stderr, "observability endpoint on %s (/metrics, /stats, /debug/pprof)\n", *listen)
@@ -147,7 +159,7 @@ func main() {
 	// One DiagnoseBatch call trains the MRF once and reuses the model (and
 	// the session's subgraph/factor caches) for every symptom, instead of
 	// paying the online training pass per symptom.
-	items, err := sys.DiagnoseBatch(context.Background(), symptoms)
+	items, err := sys.DiagnoseBatch(ctx, symptoms)
 	if err != nil {
 		fatal(err)
 	}

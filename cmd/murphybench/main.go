@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: fig5c, fig5d, table1, fig6b, fig6c, table2, fig7, fig8a, fig8b, scaling, sensitivity, cycles, fastpath, obsoverhead, trainscale, accuracy, all")
+		exp     = flag.String("exp", "all", "comma-separated experiments: fig5c, fig5d, table1, fig6b, fig6c, table2, fig7, fig8a, fig8b, scaling, sensitivity, cycles, fastpath, obsoverhead, trainscale, accuracy, soak, all")
 		full    = flag.Bool("full", false, "use paper-scale parameters (slow)")
 		stats   = flag.Bool("stats", false, "print the accumulated per-stage timing and counter breakdown at exit")
 		trace   = flag.Bool("trace", false, "stream pipeline stage events to stderr as experiments run")
@@ -236,6 +236,22 @@ func main() {
 		}
 		fmt.Print(res)
 		report.Accuracy = res
+	}
+	if run("soak") {
+		opts := harness.DefaultSoakOptions()
+		if *full {
+			opts.Duration = 15 * time.Second
+			opts.Samples = 1000
+		}
+		res, err := harness.RunSoak(opts)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res)
+		report.Soak = res
+		if vs := res.Violations(); len(vs) > 0 {
+			fail(fmt.Errorf("soak drill violated the degradation ladder: %s", strings.Join(vs, "; ")))
+		}
 	}
 	if run("cycles") {
 		gen := enterprise.DefaultGenOptions()

@@ -25,6 +25,9 @@ type benchReport struct {
 	// Accuracy is the fuzzed-suite diagnosis accuracy (the same numbers
 	// cmd/accguard pins against testdata/acc_baseline.json).
 	Accuracy *harness.AccuracyResult `json:"accuracy,omitempty"`
+	// Soak is the chaos soak drill of the always-on daemon (shed rates,
+	// queue high-water, latency percentiles, degradation-ladder evidence).
+	Soak *harness.SoakResult `json:"soak,omitempty"`
 }
 
 // fastPathJSON summarizes the fastpath A/B experiment.

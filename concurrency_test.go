@@ -1,0 +1,76 @@
+package murphy_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"murphy"
+	"murphy/internal/microsim"
+	"murphy/internal/telemetry"
+)
+
+// TestDiagnoseWhileIngestAppends streams telemetry appends into the
+// monitoring database while a diagnosis trains and infers over it — the
+// always-on daemon's steady state. Run under -race this proves the DB-level
+// synchronization covers the whole read path (training window reads, the
+// anomaly scan, explanation labeling); functionally it asserts the
+// diagnosis still completes and returns a well-formed report.
+func TestDiagnoseWhileIngestAppends(t *testing.T) {
+	opts := microsim.DefaultInterferenceOptions()
+	opts.Steps = 120
+	sc, err := microsim.Interference(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := sc.Result.DB
+
+	cfg := murphy.DefaultConfig()
+	cfg.Samples = 120
+	cfg.TrainWindow = 80
+	sys, err := murphy.New(db, murphy.WithConfig(cfg), murphy.WithSeeds(sc.Symptom.Entity))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ents := db.Entities()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := ents[(w+i)%len(ents)]
+				for _, metric := range db.MetricNames(id) {
+					if err := db.Observe(id, metric, db.Len(), float64(i%7)); err != nil {
+						t.Errorf("append during diagnose: %v", err)
+						return
+					}
+				}
+				if i%40 == 0 {
+					nid := telemetry.EntityID(fmt.Sprintf("hot-add-%d-%d", w, i))
+					if err := db.AddEntity(&telemetry.Entity{ID: nid, Type: telemetry.TypeVM, Name: string(nid)}); err != nil {
+						t.Errorf("hot-add during diagnose: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	report, err := sys.Diagnose(sc.Symptom)
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("diagnose under concurrent appends: %v", err)
+	}
+	if report == nil || report.SchemaVersion != murphy.SchemaVersion {
+		t.Fatalf("diagnose returned a malformed report: %+v", report)
+	}
+}

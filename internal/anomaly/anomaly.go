@@ -45,12 +45,15 @@ func (d *Detector) ScanEntity(db *telemetry.DB, id telemetry.EntityID, now int) 
 		lo = 0
 	}
 	for _, metric := range db.MetricNames(id) {
-		s := db.Series(id, metric)
-		cur := s.At(now)
+		// Read through the copying DB accessors (At/RawWindow), not the
+		// shared Series pointer: the always-on daemon scans for symptoms
+		// while its ingest goroutine appends, and only the DB methods
+		// synchronize with the append path.
+		cur := db.At(id, metric, now)
 		if cur != cur { // NaN: nothing observed now
 			continue
 		}
-		hist := s.Window(lo, now)
+		hist := db.RawWindow(id, metric, lo, now)
 		clean := hist[:0]
 		for _, v := range hist {
 			if v == v {
@@ -74,8 +77,19 @@ func (d *Detector) ScanEntity(db *telemetry.DB, id telemetry.EntityID, now int) 
 // ScanApp returns the problematic symptoms across all entities of an
 // application at slice now, most anomalous first.
 func (d *Detector) ScanApp(db *telemetry.DB, app string, now int) []ScoredSymptom {
+	return d.scanIDs(db, db.AppMembers(app), now)
+}
+
+// ScanAll returns the problematic symptoms across every entity in the
+// database at slice now, most anomalous first. The always-on daemon's
+// continuous symptom detector runs it over each fresh window.
+func (d *Detector) ScanAll(db *telemetry.DB, now int) []ScoredSymptom {
+	return d.scanIDs(db, db.Entities(), now)
+}
+
+func (d *Detector) scanIDs(db *telemetry.DB, ids []telemetry.EntityID, now int) []ScoredSymptom {
 	var out []ScoredSymptom
-	for _, id := range db.AppMembers(app) {
+	for _, id := range ids {
 		out = append(out, d.ScanEntity(db, id, now)...)
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -118,11 +118,9 @@ func (lb *Labeler) Label(id telemetry.EntityID) Label {
 	}
 	now := lb.model.Now()
 	val := func(metric string) (float64, bool) {
-		s := lb.db.Series(id, metric)
-		if s == nil {
-			return 0, false
-		}
-		v := s.At(now)
+		// db.At copies under the DB lock, so labeling stays safe while an
+		// ingest goroutine appends fresh slices (absent metrics read as NaN).
+		v := lb.db.At(id, metric, now)
 		if v != v { // NaN
 			return 0, false
 		}

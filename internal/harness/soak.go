@@ -1,0 +1,26 @@
+package harness
+
+import (
+	"murphy/internal/serve"
+)
+
+// SoakOptions parameterizes the chaos soak drill of the always-on daemon;
+// it aliases the serve package's options so the murphybench CLI and the CI
+// soak-smoke job configure the drill through the harness like every other
+// experiment.
+type SoakOptions = serve.SoakOptions
+
+// SoakResult is the drill outcome, including the degradation-ladder
+// evidence (Violations) and the latency/shed numbers behind the overload
+// table in EXPERIMENTS.md.
+type SoakResult = serve.SoakResult
+
+// DefaultSoakOptions returns a CI-sized drill: a few seconds of sustained
+// 2x overload under moderate chaos.
+func DefaultSoakOptions() SoakOptions { return serve.DefaultSoakOptions() }
+
+// RunSoak boots the always-on daemon over a microsim scenario with chaos on
+// its telemetry read path, hammers ingest and diagnosis past the admission
+// limits, then drains gracefully — returning every degradation-ladder
+// measurement. An empty Violations() list is the pass criterion.
+func RunSoak(opts SoakOptions) (*SoakResult, error) { return serve.RunSoak(opts) }

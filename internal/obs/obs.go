@@ -102,6 +102,27 @@ const (
 	// multi-chain sampler (Config.Chains >= 2); zero on the single-stream
 	// sampler.
 	CtrGibbsChains
+	// CtrIngestBatches / CtrIngestPoints count telemetry batches and
+	// individual observations accepted by the serve layer's ingest path;
+	// CtrIngestShed counts batches rejected by admission control (429/503).
+	CtrIngestBatches
+	CtrIngestPoints
+	CtrIngestShed
+	// CtrDiagEnqueued / CtrDiagDequeued / CtrDiagCompleted trace the
+	// bounded diagnosis work queue (live depth = enqueued − dequeued);
+	// CtrDiagShed counts diagnosis requests rejected because the queue was
+	// full or the daemon was draining.
+	CtrDiagEnqueued
+	CtrDiagDequeued
+	CtrDiagCompleted
+	CtrDiagShed
+	// CtrWatchdogCancels counts diagnoses the serve watchdog cancelled (and
+	// quarantined) for exceeding the stuck-diagnosis budget.
+	CtrWatchdogCancels
+	// CtrSnapshotsWritten / CtrSnapshotsRecovered count crash-safe state
+	// snapshots persisted and restored by the serve layer.
+	CtrSnapshotsWritten
+	CtrSnapshotsRecovered
 	numCounters
 )
 
@@ -123,6 +144,16 @@ var counterNames = [numCounters]string{
 	"breaker_trips",
 	"train_parallel_fits",
 	"gibbs_chains",
+	"ingest_batches",
+	"ingest_points",
+	"ingest_shed",
+	"diag_enqueued",
+	"diag_dequeued",
+	"diag_completed",
+	"diag_shed",
+	"watchdog_cancels",
+	"snapshots_written",
+	"snapshots_recovered",
 }
 
 // Name returns the stable snake_case counter name.

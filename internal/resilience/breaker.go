@@ -81,7 +81,12 @@ type Breaker struct {
 	state     BreakerState
 	failures  int // consecutive failures while closed
 	successes int // consecutive probe successes while half-open
-	openedAt  time.Time
+	// probes counts half-open probe calls admitted but not yet recorded.
+	// Only a single in-flight probe is admitted at a time: concurrent Allow
+	// calls during half-open must not race to hammer a recovering source
+	// with a thundering herd of "probes".
+	probes   int
+	openedAt time.Time
 }
 
 // SetOnTrip installs a callback fired on every Closed/HalfOpen → Open
@@ -118,18 +123,28 @@ func (b *Breaker) tick() {
 	if b.state == Open && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
 		b.state = HalfOpen
 		b.successes = 0
+		b.probes = 0
 	}
 }
 
 // Allow reports whether a call may proceed right now; ErrOpen means the
 // caller should fail fast. A nil result must be followed by a Record call
-// with the outcome.
+// with the outcome. While half-open, only one probe is admitted at a time:
+// concurrent callers fail fast with ErrOpen until the in-flight probe's
+// outcome is recorded, so a recovering source sees a single probe per
+// decision instead of a thundering herd.
 func (b *Breaker) Allow() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.tick()
-	if b.state == Open {
+	switch b.state {
+	case Open:
 		return ErrOpen
+	case HalfOpen:
+		if b.probes > 0 {
+			return ErrOpen
+		}
+		b.probes++
 	}
 	return nil
 }
@@ -152,6 +167,12 @@ func (b *Breaker) Record(err error) {
 // breaker. Callers must hold b.mu.
 func (b *Breaker) recordLocked(err error) bool {
 	b.tick()
+	if b.state == HalfOpen && b.probes > 0 {
+		// The in-flight probe (or a pre-trip straggler — indistinguishable
+		// by outcome alone, and equally informative) has finished; free the
+		// probe slot for the next Allow.
+		b.probes--
+	}
 	switch b.state {
 	case Closed:
 		if err == nil {
@@ -185,6 +206,7 @@ func (b *Breaker) trip() {
 	b.openedAt = b.now()
 	b.failures = 0
 	b.successes = 0
+	b.probes = 0
 }
 
 // Do runs op under the breaker: fails fast with ErrOpen when open,

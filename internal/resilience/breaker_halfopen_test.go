@@ -1,0 +1,171 @@
+package resilience
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// tripBreaker drives a breaker to Open and advances the fake clock past the
+// cooldown so the next State/Allow observes HalfOpen.
+func tripBreaker(t *testing.T, b *Breaker, now *time.Time, boom error) {
+	t.Helper()
+	for i := 0; i < 3 && b.State() != Open; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker refused: %v", err)
+		}
+		b.Record(boom)
+	}
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	*now = now.Add(time.Second)
+}
+
+func TestBreakerHalfOpenAdmitsSingleProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second}).
+		WithClock(func() time.Time { return now })
+	boom := errors.New("boom")
+	tripBreaker(t, b, &now, boom)
+
+	// Serial: exactly one probe until its outcome is recorded.
+	if err := b.Allow(); err != nil {
+		t.Fatalf("first half-open probe refused: %v", err)
+	}
+	if err := b.Allow(); !errors.Is(err, ErrOpen) {
+		t.Fatalf("second concurrent probe should be refused, got %v", err)
+	}
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed after successful probe", b.State())
+	}
+}
+
+func TestBreakerHalfOpenProbeRace(t *testing.T) {
+	now := time.Unix(0, 0)
+	var mu sync.Mutex // guards now against the clock-reading breaker
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+	advance := func(d time.Duration) { mu.Lock(); now = now.Add(d); mu.Unlock() }
+
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second}).WithClock(clock)
+	boom := errors.New("boom")
+	if err := b.Allow(); err != nil {
+		t.Fatal(err)
+	}
+	b.Record(boom)
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	advance(time.Second)
+
+	// A stampede of concurrent callers races Allow against one half-open
+	// breaker: exactly one may win the probe slot before any outcome is
+	// recorded. Run under -race this also proves the automaton's locking.
+	const callers = 64
+	var admitted atomic.Int32
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < callers; i++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			start.Wait()
+			if b.Allow() == nil {
+				admitted.Add(1)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+	if got := admitted.Load(); got != 1 {
+		t.Fatalf("half-open breaker admitted %d concurrent probes, want exactly 1", got)
+	}
+
+	// The winning probe succeeds: breaker closes, everyone flows again.
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("closed breaker refused: %v", err)
+	}
+	b.Record(nil)
+}
+
+func TestBreakerHalfOpenProbeFailureReopensAndReprobes(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Second}).
+		WithClock(func() time.Time { return now })
+	boom := errors.New("boom")
+	tripBreaker(t, b, &now, boom)
+
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	b.Record(boom) // failed probe: reopen
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open after failed probe", b.State())
+	}
+	// Next cooldown: the probe slot must be free again (a stale probes
+	// counter would deadlock the breaker half-open forever).
+	now = now.Add(time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe slot not released after reopen: %v", err)
+	}
+	b.Record(nil)
+	if b.State() != Closed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerOnTripFiresExactlyOncePerTrip(t *testing.T) {
+	now := time.Unix(0, 0)
+	var mu sync.Mutex
+	clock := func() time.Time { mu.Lock(); defer mu.Unlock(); return now }
+
+	b := NewBreaker(BreakerConfig{FailureThreshold: 5, Cooldown: time.Hour}).WithClock(clock)
+	var trips atomic.Int32
+	b.SetOnTrip(func() { trips.Add(1) })
+	boom := errors.New("boom")
+
+	// Concurrent failure recording: far more failures than the threshold
+	// land at once, but the Closed→Open transition happens exactly once, so
+	// OnTrip must fire exactly once (stragglers recording after the trip
+	// hit the Open arm, which never re-trips).
+	const workers = 32
+	var start, done sync.WaitGroup
+	start.Add(1)
+	for i := 0; i < workers; i++ {
+		done.Add(1)
+		go func() {
+			defer done.Done()
+			start.Wait()
+			for j := 0; j < 8; j++ {
+				b.Record(boom)
+			}
+		}()
+	}
+	start.Done()
+	done.Wait()
+	if b.State() != Open {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if got := trips.Load(); got != 1 {
+		t.Fatalf("OnTrip fired %d times for one trip, want exactly 1", got)
+	}
+
+	// Second trip cycle: cooldown, failed probe → exactly one more firing.
+	mu.Lock()
+	now = now.Add(time.Hour)
+	mu.Unlock()
+	if err := b.Allow(); err != nil {
+		t.Fatalf("probe refused: %v", err)
+	}
+	b.Record(boom)
+	if got := trips.Load(); got != 2 {
+		t.Fatalf("OnTrip fired %d times after two trips, want exactly 2", got)
+	}
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDeadlinePropagation is the degradation table for per-request deadline
+// propagation: a client deadline shorter than the online-training time must
+// come back promptly as an annotated partial-result report (never a hang,
+// never a zero-value report), while a generous deadline yields a clean full
+// report through the very same path.
+func TestDeadlinePropagation(t *testing.T) {
+	cases := []struct {
+		name string
+		// deadlineMs is the client deadline; readDelay slows every training
+		// read so the training phase costs well over the short deadlines.
+		deadlineMs   int
+		readDelay    time.Duration
+		wantErr      string // substring of the record's error annotation
+		wantPartial  bool
+		wantWatchdog bool
+	}{
+		{
+			name:        "deadline expires during training",
+			deadlineMs:  30,
+			readDelay:   25 * time.Millisecond,
+			wantErr:     "training",
+			wantPartial: true,
+		},
+		{
+			name:       "generous deadline completes fully",
+			deadlineMs: 60000,
+			readDelay:  0,
+		},
+		{
+			name:         "unbounded request is capped by the watchdog",
+			deadlineMs:   0, // server default (set high below) > watchdog
+			readDelay:    50 * time.Millisecond,
+			wantErr:      "watchdog",
+			wantPartial:  true,
+			wantWatchdog: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := newTestScenario(t)
+			mutate := func(c *Config) {
+				c.DefaultDeadline = time.Minute
+				if tc.wantWatchdog {
+					c.WatchdogTimeout = 20 * time.Millisecond
+				}
+			}
+			var srv *Server
+			if tc.readDelay > 0 {
+				srv = newTestServer(t, sc, mutate, withSlowReads(sc.Result.DB, tc.readDelay))
+			} else {
+				srv = newTestServer(t, sc, mutate)
+			}
+			srv.Start()
+			mux := srv.Mux()
+
+			done := make(chan *ReportRecord, 1)
+			go func() {
+				w := post(t, mux, "/diagnose", DiagnoseRequest{Symptom: sc.Symptom, DeadlineMs: tc.deadlineMs})
+				if w.Code != http.StatusOK {
+					t.Errorf("/diagnose = %d: %s", w.Code, w.Body.String())
+					done <- nil
+					return
+				}
+				var rec ReportRecord
+				if err := json.Unmarshal(w.Body.Bytes(), &rec); err != nil {
+					t.Error(err)
+					done <- nil
+					return
+				}
+				done <- &rec
+			}()
+
+			var rec *ReportRecord
+			select {
+			case rec = <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("diagnosis hung: the deadline did not propagate")
+			}
+			if rec == nil {
+				return // the goroutine already reported the failure
+			}
+			// Never a zero-value report, whatever the outcome.
+			if rec.Report == nil || rec.Report.SchemaVersion == 0 {
+				t.Fatalf("zero-value or missing report: %+v", rec)
+			}
+			if rec.Report.Symptom != sc.Symptom {
+				t.Fatalf("report symptom = %v, want %v", rec.Report.Symptom, sc.Symptom)
+			}
+			if tc.wantErr == "" {
+				if rec.Err != "" {
+					t.Fatalf("unexpected error annotation: %q", rec.Err)
+				}
+				if rec.Report.Partial {
+					t.Fatalf("generous deadline produced a partial report: %+v", rec.Report)
+				}
+				return
+			}
+			if !strings.Contains(rec.Err, tc.wantErr) {
+				t.Fatalf("error annotation %q does not mention %q", rec.Err, tc.wantErr)
+			}
+			if rec.Report.Partial != tc.wantPartial {
+				t.Fatalf("partial = %v, want %v", rec.Report.Partial, tc.wantPartial)
+			}
+			if tc.wantPartial {
+				if len(rec.Report.Skipped) == 0 || !strings.Contains(rec.Report.Skipped[0].Reason, tc.wantErr) {
+					t.Fatalf("partial report's Skipped does not carry the annotation: %+v", rec.Report.Skipped)
+				}
+			}
+			if rec.Watchdog != tc.wantWatchdog {
+				t.Fatalf("watchdog = %v, want %v", rec.Watchdog, tc.wantWatchdog)
+			}
+		})
+	}
+}

@@ -1,0 +1,31 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM, for
+// driving graceful shutdown: both murphyd and `murphy -listen` block on it,
+// then drain. A second signal restores default handling, so a stuck drain
+// can still be killed interactively.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}
+
+// ShutdownHTTP gracefully shuts an HTTP server down within timeout, closing
+// it hard if the grace period expires. Shared by murphyd and the murphy CLI's
+// -listen mode so both drain identically.
+func ShutdownHTTP(srv *http.Server, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		_ = srv.Close()
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestChaosSoakLadder runs the full chaos soak drill at reduced duration and
+// asserts the degradation ladder end to end: partial-result reports over
+// failures, bounded queue depth, sheds with Retry-After, zero goroutine
+// leaks, and readiness flipping correctly across drain.
+func TestChaosSoakLadder(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak drill skipped in -short mode")
+	}
+	opts := DefaultSoakOptions()
+	opts.Duration = 1500 * time.Millisecond
+	opts.Steps = 120
+	opts.Samples = 120
+	opts.TrainWindow = 80
+	opts.SnapshotPath = filepath.Join(t.TempDir(), "state.json")
+
+	res, err := RunSoak(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res)
+	for _, v := range res.Violations() {
+		t.Errorf("degradation ladder violated: %s", v)
+	}
+	// Beyond the ladder: the drill must actually have exercised overload
+	// (requests offered past capacity on both paths).
+	if res.IngestOK == 0 {
+		t.Error("no ingest batch was accepted")
+	}
+	if res.DiagnoseRequests < res.OfferedBurst {
+		t.Errorf("drill offered only %d diagnoses, want at least one full burst of %d", res.DiagnoseRequests, res.OfferedBurst)
+	}
+	// And the periodic snapshot loop must have persisted state: a restart
+	// can recover the database the drill built.
+	db, restore, err := RecoverFromDisk(opts.SnapshotPath)
+	if err != nil {
+		t.Fatalf("post-soak recovery: %v", err)
+	}
+	if db == nil || restore == nil {
+		t.Fatal("soak left no recoverable snapshot")
+	}
+	if db.Len() == 0 {
+		t.Fatal("recovered snapshot has an empty telemetry grid")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"sync"
 
 	"murphy/internal/timeseries"
 )
@@ -31,12 +32,25 @@ type edge struct {
 
 // DB is the in-memory monitoring database. It stores entities, their
 // metric time series on a shared slice grid, and metadata associations.
-// It is not safe for concurrent mutation; build it once, then share it
-// read-only across diagnosis runs.
+//
+// Concurrency: every method takes the database's reader/writer lock, so an
+// ingest goroutine may append observations (Observe, SetSeries, RecordEvent)
+// while diagnosis workers read trailing windows — the always-on daemon's
+// append-while-diagnose pattern. Past slices are never rewritten by append
+// traffic, so a window read over a fixed [lo, hi) range is stable regardless
+// of interleaving. The pointer-returning accessors (Series, Entities,
+// AppMembers) hand out shared internals and are only safe against concurrent
+// *structural* mutation when treated as read-only snapshots; concurrent
+// readers should prefer At/Window/RawWindow, which copy under the lock.
 type DB struct {
 	// IntervalSeconds is the width of a time slice (600 s in the enterprise
 	// environment, 10 s in the microservice emulation).
 	IntervalSeconds int
+
+	// mu guards every field below. Write-path methods (AddEntity, Observe,
+	// SetSeries, Associate, Remove*, RecordEvent) take it exclusively; read
+	// paths share it.
+	mu sync.RWMutex
 
 	entities map[EntityID]*Entity
 	order    []EntityID // insertion order for deterministic iteration
@@ -65,6 +79,8 @@ func (db *DB) AddEntity(e *Entity) error {
 	if e == nil || e.ID == "" {
 		return fmt.Errorf("telemetry: entity must have an ID")
 	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, dup := db.entities[e.ID]; dup {
 		return fmt.Errorf("telemetry: duplicate entity %q", e.ID)
 	}
@@ -78,20 +94,41 @@ func (db *DB) AddEntity(e *Entity) error {
 }
 
 // Entity returns the entity with the given ID, or nil when unknown.
-func (db *DB) Entity(id EntityID) *Entity { return db.entities[id] }
+func (db *DB) Entity(id EntityID) *Entity {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.entities[id]
+}
 
 // HasEntity reports whether id is registered.
-func (db *DB) HasEntity(id EntityID) bool { _, ok := db.entities[id]; return ok }
+func (db *DB) HasEntity(id EntityID) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.hasEntityLocked(id)
+}
+
+// hasEntityLocked is HasEntity for callers already holding db.mu.
+func (db *DB) hasEntityLocked(id EntityID) bool { _, ok := db.entities[id]; return ok }
 
 // Entities returns all entity IDs in insertion order. The slice is shared;
 // treat it as read-only.
-func (db *DB) Entities() []EntityID { return db.order }
+func (db *DB) Entities() []EntityID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.order
+}
 
 // NumEntities returns the number of registered entities.
-func (db *DB) NumEntities() int { return len(db.entities) }
+func (db *DB) NumEntities() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.entities)
+}
 
 // Apps returns the sorted list of application names with members.
 func (db *DB) Apps() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.apps))
 	for a := range db.apps {
 		out = append(out, a)
@@ -102,13 +139,19 @@ func (db *DB) Apps() []string {
 
 // AppMembers returns the entities tagged as members of app, in insertion
 // order. The slice is shared; treat it as read-only.
-func (db *DB) AppMembers(app string) []EntityID { return db.apps[app] }
+func (db *DB) AppMembers(app string) []EntityID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.apps[app]
+}
 
 // Associate records a metadata association between a and b. Bidirectional
 // associations add influence edges both ways (the conservative default of
 // §4.1); Directed adds only a→b. Unknown entities are an error.
 func (db *DB) Associate(a, b EntityID, kind AssocKind) error {
-	if !db.HasEntity(a) || !db.HasEntity(b) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.hasEntityLocked(a) || !db.hasEntityLocked(b) {
 		return fmt.Errorf("telemetry: association %q-%q references unknown entity", a, b)
 	}
 	if a == b {
@@ -135,6 +178,8 @@ func (db *DB) addEdge(from, to EntityID) {
 // RemoveEdge deletes the directed influence edge from→to (and nothing else).
 // It is used by the data-degradation experiments (Table 2).
 func (db *DB) RemoveEdge(from, to EntityID) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	delete(db.out[from], to)
 	delete(db.in[to], from)
 }
@@ -143,6 +188,8 @@ func (db *DB) RemoveEdge(from, to EntityID) {
 // evaluation uses it to hand Sage a database whose only edges are a causal
 // call-graph DAG.
 func (db *DB) RemoveAllEdges() {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	db.out = make(map[EntityID]map[EntityID]bool)
 	db.in = make(map[EntityID]map[EntityID]bool)
 }
@@ -150,7 +197,9 @@ func (db *DB) RemoveAllEdges() {
 // RemoveEntity deletes an entity together with its metrics and all edges
 // touching it (Table 2, "missing entity").
 func (db *DB) RemoveEntity(id EntityID) {
-	if !db.HasEntity(id) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.hasEntityLocked(id) {
 		return
 	}
 	for nb := range db.out[id] {
@@ -184,21 +233,33 @@ func (db *DB) RemoveEntity(id EntityID) {
 // RemoveMetric deletes one metric series of an entity (Table 2,
 // "missing metric").
 func (db *DB) RemoveMetric(id EntityID, metric string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if m := db.series[id]; m != nil {
 		delete(m, metric)
 	}
 }
 
 // OutNeighbors returns the entities that id may influence, sorted.
-func (db *DB) OutNeighbors(id EntityID) []EntityID { return sortedKeys(db.out[id]) }
+func (db *DB) OutNeighbors(id EntityID) []EntityID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return sortedKeys(db.out[id])
+}
 
 // InNeighbors returns the entities that may influence id, sorted. These are
 // the in_nbrs(v) of the MRF factor definition.
-func (db *DB) InNeighbors(id EntityID) []EntityID { return sortedKeys(db.in[id]) }
+func (db *DB) InNeighbors(id EntityID) []EntityID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return sortedKeys(db.in[id])
+}
 
 // Neighbors returns the union of in- and out-neighbors, sorted: the loose
 // "neighborhood" used to grow the relationship graph.
 func (db *DB) Neighbors(id EntityID) []EntityID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	set := make(map[EntityID]bool, len(db.out[id])+len(db.in[id]))
 	for nb := range db.out[id] {
 		set[nb] = true
@@ -210,7 +271,11 @@ func (db *DB) Neighbors(id EntityID) []EntityID {
 }
 
 // HasEdge reports whether the directed influence edge from→to exists.
-func (db *DB) HasEdge(from, to EntityID) bool { return db.out[from][to] }
+func (db *DB) HasEdge(from, to EntityID) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.out[from][to]
+}
 
 func sortedKeys(m map[EntityID]bool) []EntityID {
 	out := make([]EntityID, 0, len(m))
@@ -224,7 +289,9 @@ func sortedKeys(m map[EntityID]bool) []EntityID {
 // SetSeries installs (replacing) the series for one metric of an entity and
 // extends the database timeline if needed.
 func (db *DB) SetSeries(id EntityID, metric string, s *timeseries.Series) error {
-	if !db.HasEntity(id) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.hasEntityLocked(id) {
 		return fmt.Errorf("telemetry: SetSeries on unknown entity %q", id)
 	}
 	db.series[id][metric] = s
@@ -236,7 +303,9 @@ func (db *DB) SetSeries(id EntityID, metric string, s *timeseries.Series) error 
 
 // Observe appends v at slice t for the metric, growing the series as needed.
 func (db *DB) Observe(id EntityID, metric string, t int, v float64) error {
-	if !db.HasEntity(id) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if !db.hasEntityLocked(id) {
 		return fmt.Errorf("telemetry: Observe on unknown entity %q", id)
 	}
 	s := db.series[id][metric]
@@ -252,16 +321,24 @@ func (db *DB) Observe(id EntityID, metric string, t int, v float64) error {
 }
 
 // Len returns the number of time slices on the shared grid.
-func (db *DB) Len() int { return db.length }
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.length
+}
 
 // Series returns the series for (id, metric), or nil when absent. The
 // returned series is shared; treat it as read-only.
 func (db *DB) Series(id EntityID, metric string) *timeseries.Series {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return db.series[id][metric]
 }
 
 // MetricNames returns the sorted metric names recorded for an entity.
 func (db *DB) MetricNames(id EntityID) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	m := db.series[id]
 	out := make([]string, 0, len(m))
 	for name := range m {
@@ -273,6 +350,8 @@ func (db *DB) MetricNames(id EntityID) []string {
 
 // At returns the value of (id, metric) at slice t, or NaN when missing.
 func (db *DB) At(id EntityID, metric string, t int) float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	s := db.series[id][metric]
 	if s == nil {
 		return math.NaN()
@@ -284,6 +363,8 @@ func (db *DB) At(id EntityID, metric string, t int) float64 {
 // filled by the type-appropriate default (0), implementing the paper's
 // placeholder rule for entities with missing history.
 func (db *DB) Window(id EntityID, metric string, lo, hi int) []float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	s := db.series[id][metric]
 	if s == nil {
 		out := make([]float64, hi-lo)
@@ -307,6 +388,8 @@ func (db *DB) Window(id EntityID, metric string, lo, hi int) []float64 {
 // observations preserved as NaN (unlike Window, which fills placeholders).
 // An absent metric yields an all-missing slice of the requested width.
 func (db *DB) RawWindow(id EntityID, metric string, lo, hi int) []float64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	s := db.series[id][metric]
 	if s == nil {
 		out := make([]float64, hi-lo)
@@ -325,6 +408,8 @@ func (db *DB) RawWindow(id EntityID, metric string, lo, hi int) []float64 {
 // Clone returns a deep copy of the database (entities, edges, series). The
 // degradation experiments corrupt a clone, never the original.
 func (db *DB) Clone() *DB {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	c := NewDB(db.IntervalSeconds)
 	c.length = db.length
 	for _, id := range db.order {
@@ -366,6 +451,8 @@ type snapshot struct {
 // the JSON string "NaN" inside a float slice is invalid, so missing points
 // are dropped to 0 on export — exported snapshots are always fully observed).
 func (db *DB) WriteJSON(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	snap := snapshot{IntervalSeconds: db.IntervalSeconds}
 	for _, id := range db.order {
 		snap.Entities = append(snap.Entities, db.entities[id])

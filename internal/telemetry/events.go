@@ -41,7 +41,9 @@ func (e Event) String() string {
 // error except for removals, which naturally reference entities that are
 // already gone.
 func (db *DB) RecordEvent(ev Event) error {
-	if ev.Kind != EventEntityRemoved && !db.HasEntity(ev.Entity) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if ev.Kind != EventEntityRemoved && !db.hasEntityLocked(ev.Entity) {
 		return fmt.Errorf("telemetry: event for unknown entity %q", ev.Entity)
 	}
 	if ev.Slice < 0 {
@@ -54,6 +56,8 @@ func (db *DB) RecordEvent(ev Event) error {
 // EventsSince returns the events at slice >= since, ordered by slice (stable
 // for equal slices). Murphy shows these next to the root-cause list.
 func (db *DB) EventsSince(since int) []Event {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var out []Event
 	for _, ev := range db.events {
 		if ev.Slice >= since {
@@ -66,6 +70,8 @@ func (db *DB) EventsSince(since int) []Event {
 
 // EventsFor returns all events touching one entity, ordered by slice.
 func (db *DB) EventsFor(id EntityID) []Event {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var out []Event
 	for _, ev := range db.events {
 		if ev.Entity == id {

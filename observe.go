@@ -32,6 +32,30 @@ type Observer = obs.Observer
 // renders as an operator table via Table.
 type PipelineStats = obs.Snapshot
 
+// Recorder is the underlying instrumentation recorder a System writes its
+// spans, counters, and histograms into. It is shared state: several Systems
+// (or a System and the serve daemon's admission/queue machinery) may write
+// into one Recorder so a single /metrics endpoint tells the whole story.
+type Recorder = obs.Recorder
+
+// NewRecorder returns a fresh, disabled Recorder, for sharing between a
+// System (via WithRecorder) and other writers before enabling collection.
+func NewRecorder() *Recorder { return obs.New() }
+
+// WithRecorder makes the System record its instrumentation into r instead of
+// a private recorder, so pipeline counters and externally recorded ones (the
+// diagnosis daemon's ingest/queue/shedding counters) share one snapshot and
+// one /metrics exposition. Apply it before WithObserver/WithStats — those
+// act on whichever recorder the System holds at that point. A nil r is
+// ignored.
+func WithRecorder(r *Recorder) Option {
+	return func(s *System) {
+		if r != nil {
+			s.rec = r
+		}
+	}
+}
+
 // WithObserver subscribes an observer to the pipeline's event stream and
 // enables instrumentation for the session. Several observers may be
 // attached; they all see the same serialized stream.
