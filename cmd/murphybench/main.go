@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: fig5c, fig5d, table1, fig6b, fig6c, table2, fig7, fig8a, fig8b, scaling, sensitivity, cycles, fastpath, obsoverhead, trainscale, accuracy, soak, all")
+		exp     = flag.String("exp", "all", "comma-separated experiments: fig5c, fig5d, table1, fig6b, fig6c, table2, fig7, fig8a, fig8b, scaling, sensitivity, cycles, fastpath, obsoverhead, trainscale, accuracy, baselines, sweep, soak, all")
 		full    = flag.Bool("full", false, "use paper-scale parameters (slow)")
 		stats   = flag.Bool("stats", false, "print the accumulated per-stage timing and counter breakdown at exit")
 		trace   = flag.Bool("trace", false, "stream pipeline stage events to stderr as experiments run")
@@ -236,6 +236,30 @@ func main() {
 		}
 		fmt.Print(res)
 		report.Accuracy = res
+	}
+	if run("baselines") {
+		cases := 16 // matches the accguard-pinned suite (seed 1, 16 cases/family)
+		if *full {
+			cases = 32
+		}
+		res, err := harness.RunBaselines(1, cases)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res)
+		report.Baselines = res
+	}
+	if run("sweep") {
+		cases := 8
+		if *full {
+			cases = 16
+		}
+		res, err := harness.RunRegressorSweep(1, cases)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Print(res)
+		report.RegressorSweep = res
 	}
 	if run("soak") {
 		opts := harness.DefaultSoakOptions()

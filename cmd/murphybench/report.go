@@ -25,6 +25,13 @@ type benchReport struct {
 	// Accuracy is the fuzzed-suite diagnosis accuracy (the same numbers
 	// cmd/accguard pins against testdata/acc_baseline.json).
 	Accuracy *harness.AccuracyResult `json:"accuracy,omitempty"`
+	// Baselines is the comparative accuracy of Murphy vs NetMedic /
+	// ExplainIt / Sage over the fuzzed suite (per-method columns accguard
+	// pins: Murphy gated, baselines tracked).
+	Baselines *harness.BaselinesResult `json:"baselines,omitempty"`
+	// RegressorSweep is the end-to-end Fig 8a sweep: Murphy's accuracy with
+	// each candidate factor regressor swapped into the training path.
+	RegressorSweep *harness.RegressorSweepResult `json:"regressor_sweep,omitempty"`
 	// Soak is the chaos soak drill of the always-on daemon (shed rates,
 	// queue high-water, latency percentiles, degradation-ladder evidence).
 	Soak *harness.SoakResult `json:"soak,omitempty"`

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"murphy/internal/metamorph"
+	"murphy/internal/telemetry"
 )
 
 // FamilyAccuracy is the accuracy of one fuzzed scenario family.
@@ -21,6 +22,45 @@ type FamilyAccuracy struct {
 	Top1 float64 `json:"top1"`
 	Top3 float64 `json:"top3"`
 	Top5 float64 `json:"top5"`
+}
+
+// observe accumulates one case's ranking into the tally: rank credit is the
+// reciprocal rank of the first acceptable entity, top-k counters tick when it
+// sits within k. Call finish once every case of the family is in.
+func (a *FamilyAccuracy) observe(ranked []telemetry.EntityID, accept map[telemetry.EntityID]bool) {
+	a.Cases++
+	rank := 0 // 1-based rank of the first acceptable entity
+	for k, id := range ranked {
+		if accept[id] {
+			rank = k + 1
+			break
+		}
+	}
+	if rank == 0 {
+		return
+	}
+	a.Precision += 1 / float64(rank)
+	if rank <= 1 {
+		a.Top1++
+	}
+	if rank <= 3 {
+		a.Top3++
+	}
+	if rank <= 5 {
+		a.Top5++
+	}
+}
+
+// finish converts the accumulated tallies into per-case means.
+func (a *FamilyAccuracy) finish() {
+	if a.Cases == 0 {
+		return
+	}
+	n := float64(a.Cases)
+	a.Precision /= n
+	a.Top1 /= n
+	a.Top3 /= n
+	a.Top5 /= n
 }
 
 // AccuracyResult is the diagnosis accuracy over the fuzzed scenario suite:
@@ -53,32 +93,9 @@ func RunAccuracy(seed int64, casesPerFamily int) (*AccuracyResult, error) {
 			if err != nil {
 				return nil, fmt.Errorf("harness: %s[%d] seed=%d: %w", fam, i, c.Seed, err)
 			}
-			rank := 0 // 1-based rank of the first acceptable entity
-			for k, id := range diag.Ranked() {
-				if c.Accept[id] {
-					rank = k + 1
-					break
-				}
-			}
-			acc.Cases++
-			if rank > 0 {
-				acc.Precision += 1 / float64(rank)
-				if rank <= 1 {
-					acc.Top1++
-				}
-				if rank <= 3 {
-					acc.Top3++
-				}
-				if rank <= 5 {
-					acc.Top5++
-				}
-			}
+			acc.observe(diag.Ranked(), c.Accept)
 		}
-		n := float64(acc.Cases)
-		acc.Precision /= n
-		acc.Top1 /= n
-		acc.Top3 /= n
-		acc.Top5 /= n
+		acc.finish()
 		out.Families[fam] = acc
 	}
 	return out, nil

@@ -15,7 +15,6 @@ import (
 	"murphy/internal/graph"
 	"murphy/internal/microsim"
 	"murphy/internal/netmedic"
-	"murphy/internal/sage"
 	"murphy/internal/telemetry"
 )
 
@@ -87,36 +86,9 @@ func schemeRankings(sc *microsim.Scenario, cfg core.Config) (map[string][]teleme
 }
 
 // sageRanking trains Sage on the scenario's call DAG and ranks the
-// candidates. An unusable environment (no DAG, cyclic DAG, or symptom
-// outside the DAG) yields an empty ranking, mirroring §6.1/§6.2 where Sage
-// cannot produce the root cause.
+// candidates; see dagRanking for the unusable-environment semantics.
 func sageRanking(db *telemetry.DB, sc *microsim.Scenario, cfg core.Config, candidates []telemetry.EntityID) []telemetry.EntityID {
-	if len(sc.CallDAG) == 0 {
-		return nil
-	}
-	dagDB := db.Clone()
-	dagDB.RemoveAllEdges()
-	for _, e := range sc.CallDAG {
-		if err := dagDB.Associate(e[0], e[1], telemetry.Directed); err != nil {
-			return nil
-		}
-	}
-	seed := sc.CallDAG[0][0]
-	g, err := graph.Build(dagDB, []telemetry.EntityID{seed}, -1)
-	if err != nil || !g.Contains(sc.Symptom.Entity) {
-		return nil
-	}
-	sCfg := sage.DefaultConfig()
-	sCfg.Window = cfg.TrainWindow
-	m, err := sage.Train(dagDB, g, sCfg)
-	if err != nil {
-		return nil
-	}
-	ranked, err := m.Diagnose(sc.Symptom, candidates)
-	if err != nil {
-		return nil
-	}
-	return sage.RankedIDs(ranked)
+	return dagRanking(db, sc.CallDAG, sc.Symptom, cfg.TrainWindow, candidates)
 }
 
 // fmtCurve renders a K→accuracy curve as "K=1:0.75 K=5:0.86 ...".

@@ -50,6 +50,12 @@ type Case struct {
 	Accept map[telemetry.EntityID]bool
 	// FaultStart is the slice at which the incident begins.
 	FaultStart int
+	// CallDAG lists the directed cause→effect edges of the affected
+	// entrypoint's call tree — the honest DAG view a Sage-style diagnoser is
+	// given (§6.1). Families whose environment has no usable causal DAG (the
+	// cyclic enterprise topology) leave it nil; Sage is then structurally
+	// inapplicable, exactly as in Table 1.
+	CallDAG [][2]telemetry.EntityID
 }
 
 // Scenario families the fuzzer composes.
@@ -164,6 +170,7 @@ func fromScenario(sc *microsim.Scenario) *Case {
 		Truth:      sc.TruthEntity,
 		Accept:     acceptSet(sc.TruthEntity, sc.Acceptable...),
 		FaultStart: sc.FaultStart,
+		CallDAG:    sc.CallDAG,
 	}
 }
 
@@ -222,12 +229,15 @@ func genCascade(rng *rand.Rand, seed int64) (*Case, error) {
 		return nil, err
 	}
 	truth := res.ContainerEntity[target]
+	dag := append(microsim.VictimCallDAG(topo, res, "svc-0"),
+		[2]telemetry.EntityID{res.ServiceEntity["svc-0"], res.ClientEntity["client"]})
 	return &Case{
 		DB:         res.DB,
 		Symptom:    telemetry.Symptom{Entity: res.ClientEntity["client"], Metric: telemetry.MetricLatency, High: true},
 		Truth:      truth,
 		Accept:     acceptSet(truth, res.ServiceEntity[target], res.NodeEntity[topo.Services[target].Node]),
 		FaultStart: faultStart,
+		CallDAG:    dag,
 	}, nil
 }
 
@@ -278,12 +288,15 @@ func genConfounder(rng *rand.Rand, seed int64) (*Case, error) {
 		return nil, err
 	}
 	truth := res.ContainerEntity[target]
+	dag := append(microsim.VictimCallDAG(topo, res, "frontend"),
+		[2]telemetry.EntityID{res.ServiceEntity["frontend"], res.ClientEntity["client"]})
 	return &Case{
 		DB:         res.DB,
 		Symptom:    telemetry.Symptom{Entity: res.ClientEntity["client"], Metric: telemetry.MetricLatency, High: true},
 		Truth:      truth,
 		Accept:     acceptSet(truth, res.ServiceEntity[target]),
 		FaultStart: faultStart,
+		CallDAG:    dag,
 	}, nil
 }
 

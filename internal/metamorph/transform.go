@@ -55,6 +55,10 @@ func Rename(c *Case) (*Case, map[telemetry.EntityID]telemetry.EntityID) {
 	for id := range c.Accept {
 		out.Accept[fwd[id]] = true
 	}
+	out.CallDAG = make([][2]telemetry.EntityID, len(c.CallDAG))
+	for i, e := range c.CallDAG {
+		out.CallDAG[i] = [2]telemetry.EntityID{fwd[e[0]], fwd[e[1]]}
+	}
 	return &out, inv
 }
 
@@ -81,6 +85,10 @@ func PermuteEdges(c *Case, seed int64) *Case {
 	}
 	out := *c
 	out.DB = db
+	// The causal call DAG's edge list gets the same treatment: insertion
+	// order must be immaterial to any diagnoser consuming it.
+	out.CallDAG = append([][2]telemetry.EntityID(nil), c.CallDAG...)
+	rng.Shuffle(len(out.CallDAG), func(i, j int) { out.CallDAG[i], out.CallDAG[j] = out.CallDAG[j], out.CallDAG[i] })
 	return &out
 }
 

@@ -130,10 +130,15 @@ func Interference(opts InterferenceOptions) (*Scenario, error) {
 	return sc, nil
 }
 
-// victimCallDAG builds the cause→effect DAG Sage receives: only the victim
+// VictimCallDAG builds the cause→effect DAG Sage receives: only the victim
 // entrypoint's call tree, with edges from callee to caller (a slow callee
 // causes a slow caller) plus container→service edges (a stressed container
-// causes a slow service).
+// causes a slow service). It is exported so scenario builders outside this
+// package (the metamorph fuzzer) can hand Sage the same honest DAG view.
+func VictimCallDAG(topo *Topology, res *Result, entry string) [][2]telemetry.EntityID {
+	return victimCallDAG(topo, res, entry)
+}
+
 func victimCallDAG(topo *Topology, res *Result, entry string) [][2]telemetry.EntityID {
 	var edges [][2]telemetry.EntityID
 	seen := map[string]bool{}

@@ -118,6 +118,13 @@ func Diagnose(db *telemetry.DB, g *graph.Graph, symptom telemetry.Symptom, candi
 	return out, nil
 }
 
+// Abnormality exposes the per-entity abnormality score (max |z| of current
+// metrics vs the window) for invariant tests: an affine rescale of
+// unit-bearing metrics must not reorder entities by abnormality.
+func Abnormality(db *telemetry.DB, id telemetry.EntityID, lo, hi int) float64 {
+	return abnormality(db, id, lo, hi)
+}
+
 // abnormality is the max |z| of an entity's current metrics vs history.
 func abnormality(db *telemetry.DB, id telemetry.EntityID, lo, hi int) float64 {
 	best := 0.0

@@ -195,7 +195,12 @@ func (m *Model) Diagnose(symptom telemetry.Symptom, candidates []telemetry.Entit
 		hstd = 1
 	}
 	var out []Ranked
+	seen := make(map[telemetry.EntityID]bool, len(candidates))
 	for _, cand := range candidates {
+		if seen[cand] {
+			continue
+		}
+		seen[cand] = true
 		ci, ok := m.g.Index(cand)
 		if !ok || ci == si {
 			continue
