@@ -15,6 +15,13 @@
 // ns/op"); -update rewrites it from the current input instead of comparing.
 // Benchmarks present on only one side are reported but never fail the run, so
 // adding or retiring benchmarks does not require touching the guard.
+//
+// Two metric classes are guarded. ns/op is lower-is-better: the guard fails
+// when current exceeds baseline by more than the tolerance factor. Throughput
+// metrics (samples/sec, reported by the Gibbs-kernel benchmarks via
+// b.ReportMetric) are higher-is-better: the guard fails when current falls
+// below baseline divided by the tolerance factor. Other custom metrics are
+// ignored.
 package main
 
 import (
@@ -28,11 +35,17 @@ import (
 	"strings"
 )
 
+// guardedUnits maps each guarded metric unit to its comparison direction.
+var guardedUnits = map[string]bool{
+	"ns/op":       false, // lower is better
+	"samples/sec": true,  // higher is better
+}
+
 func main() {
 	var (
 		baseline  = flag.String("baseline", "testdata/bench_baseline.txt", "baseline benchmark output to compare against")
 		input     = flag.String("input", "-", "current benchmark output ('-' = stdin)")
-		tolerance = flag.Float64("tolerance", 4.0, "fail when current ns/op exceeds baseline by more than this factor")
+		tolerance = flag.Float64("tolerance", 4.0, "fail when a metric regresses beyond this factor (slower ns/op, lower samples/sec)")
 		update    = flag.Bool("update", false, "rewrite the baseline from the current input instead of comparing")
 	)
 	flag.Parse()
@@ -57,7 +70,7 @@ func main() {
 	}
 	failed := compare(os.Stdout, base, cur, *tolerance)
 	if failed > 0 {
-		fatal(fmt.Errorf("%d benchmark(s) regressed beyond %.1fx", failed, *tolerance))
+		fatal(fmt.Errorf("%d metric(s) regressed beyond %.1fx", failed, *tolerance))
 	}
 }
 
@@ -66,10 +79,15 @@ func fatal(err error) {
 	os.Exit(1)
 }
 
-// parseBench extracts "BenchmarkX-N  iters  ns/op" rows from benchmark output.
-// The CPU-count suffix (-8) is stripped so baselines transfer across runners.
-func parseBench(r io.Reader) (map[string]float64, error) {
-	out := map[string]float64{}
+// metrics is one benchmark's guarded measurements, keyed by unit.
+type metrics map[string]float64
+
+// parseBench extracts "BenchmarkX-N  iters  <value> <unit> ..." rows from
+// benchmark output, keeping every guarded unit on the line (ns/op plus custom
+// metrics like samples/sec). The CPU-count suffix (-8) is stripped so
+// baselines transfer across runners.
+func parseBench(r io.Reader) (map[string]metrics, error) {
+	out := map[string]metrics{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -77,36 +95,43 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		// Find the "ns/op" pair; custom metrics follow and are ignored.
+		var m metrics
 		for i := 2; i+1 < len(fields); i += 2 {
-			if fields[i+1] != "ns/op" {
+			unit := fields[i+1]
+			if _, guarded := guardedUnits[unit]; !guarded {
 				continue
 			}
 			v, err := strconv.ParseFloat(fields[i], 64)
 			if err != nil {
-				return nil, fmt.Errorf("bad ns/op %q on %q", fields[i], sc.Text())
+				return nil, fmt.Errorf("bad %s %q on %q", unit, fields[i], sc.Text())
 			}
-			name := fields[0]
-			if cut := strings.LastIndex(name, "-"); cut > 0 {
-				if _, err := strconv.Atoi(name[cut+1:]); err == nil {
-					name = name[:cut]
-				}
+			if m == nil {
+				m = metrics{}
 			}
-			out[name] = v
-			break
+			m[unit] = v
 		}
+		if m == nil {
+			continue
+		}
+		name := fields[0]
+		if cut := strings.LastIndex(name, "-"); cut > 0 {
+			if _, err := strconv.Atoi(name[cut+1:]); err == nil {
+				name = name[:cut]
+			}
+		}
+		out[name] = m
 	}
 	return out, sc.Err()
 }
 
-func readBench(path string) (map[string]float64, error) {
+func readBench(path string) (map[string]metrics, error) {
 	if path == "-" {
 		return parseBench(os.Stdin)
 	}
 	return readBenchFile(path)
 }
 
-func readBenchFile(path string) (map[string]float64, error) {
+func readBenchFile(path string) (map[string]metrics, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -115,23 +140,34 @@ func readBenchFile(path string) (map[string]float64, error) {
 	return parseBench(f)
 }
 
-func writeBaseline(path string, benches map[string]float64) error {
+func writeBaseline(path string, benches map[string]metrics) error {
 	names := make([]string, 0, len(benches))
 	for n := range benches {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	var b strings.Builder
-	b.WriteString("# benchguard baseline: single-iteration ns/op per benchmark.\n")
+	b.WriteString("# benchguard baseline: single-iteration guarded metrics per benchmark.\n")
 	b.WriteString("# Regenerate: go test -run '^$' -bench <pattern> -benchtime 1x . | benchguard -update -baseline <this file>\n")
 	for _, n := range names {
-		fmt.Fprintf(&b, "%s 1 %.0f ns/op\n", n, benches[n])
+		fmt.Fprintf(&b, "%s 1", n)
+		units := make([]string, 0, len(benches[n]))
+		for u := range benches[n] {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, u := range units {
+			fmt.Fprintf(&b, " %.0f %s", benches[n][u], u)
+		}
+		b.WriteString("\n")
 	}
 	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
-// compare prints one row per benchmark and returns how many regressed.
-func compare(w io.Writer, base, cur map[string]float64, tolerance float64) int {
+// compare prints one row per (benchmark, metric) and returns how many
+// regressed: ns/op fails above tolerance, higher-is-better metrics fail below
+// 1/tolerance.
+func compare(w io.Writer, base, cur map[string]metrics, tolerance float64) int {
 	names := make([]string, 0, len(cur))
 	for n := range cur {
 		names = append(names, n)
@@ -139,18 +175,33 @@ func compare(w io.Writer, base, cur map[string]float64, tolerance float64) int {
 	sort.Strings(names)
 	failed := 0
 	for _, n := range names {
-		b, ok := base[n]
+		bm, ok := base[n]
 		if !ok {
-			fmt.Fprintf(w, "  new      %-55s %12.0f ns/op (no baseline)\n", n, cur[n])
+			for _, u := range sortedUnits(cur[n]) {
+				fmt.Fprintf(w, "  new      %-55s %12.0f %s (no baseline)\n", n, cur[n][u], u)
+			}
 			continue
 		}
-		ratio := cur[n] / b
-		status := "ok"
-		if ratio > tolerance {
-			status = "REGRESS"
-			failed++
+		for _, u := range sortedUnits(cur[n]) {
+			bv, ok := bm[u]
+			if !ok {
+				fmt.Fprintf(w, "  new      %-55s %12.0f %s (no baseline)\n", n, cur[n][u], u)
+				continue
+			}
+			ratio := cur[n][u] / bv
+			status := "ok"
+			if guardedUnits[u] {
+				// Higher is better: fail when throughput dropped by tolerance.
+				if ratio < 1/tolerance {
+					status = "REGRESS"
+					failed++
+				}
+			} else if ratio > tolerance {
+				status = "REGRESS"
+				failed++
+			}
+			fmt.Fprintf(w, "  %-8s %-55s %12.0f %s vs %12.0f (%.2fx)\n", status, n, cur[n][u], u, bv, ratio)
 		}
-		fmt.Fprintf(w, "  %-8s %-55s %12.0f ns/op vs %12.0f (%.2fx)\n", status, n, cur[n], b, ratio)
 	}
 	for n := range base {
 		if _, ok := cur[n]; !ok {
@@ -158,4 +209,13 @@ func compare(w io.Writer, base, cur map[string]float64, tolerance float64) int {
 		}
 	}
 	return failed
+}
+
+func sortedUnits(m metrics) []string {
+	units := make([]string, 0, len(m))
+	for u := range m {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	return units
 }

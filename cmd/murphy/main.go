@@ -39,6 +39,7 @@ func main() {
 		workers  = flag.Int("workers", 1, "parallel candidate evaluators (1 = sequential; results identical)")
 		trainW   = flag.Int("trainworkers", 0, "training-pass pool workers (0 = follow -workers; models bit-identical at any count)")
 		chains   = flag.Int("chains", 1, "independent Gibbs chains per counterfactual test (1 = single-stream sampler)")
+		prec     = flag.String("precision", "float64", "sampling kernel precision: float64 (bit-stable default) or float32 (fast path)")
 		retries  = flag.Int("retries", 0, "retry attempts for transient telemetry read faults (0 = no retry layer)")
 		cache    = flag.Bool("cache", false, "reuse trained factors across the diagnoses of this run (behavior-preserving)")
 		early    = flag.Float64("earlystop", 0, "early-stop confidence for the counterfactual tests, e.g. 0.999 (0 = full sample budget)")
@@ -93,8 +94,18 @@ func main() {
 	if *trainW != 0 {
 		opts = append(opts, murphy.WithParallelTraining(*trainW))
 	}
-	if *chains > 1 {
-		opts = append(opts, murphy.WithChains(*chains))
+	sampler := murphy.SamplerConfig{Chains: *chains}
+	switch *prec {
+	case "float64", "f64", "":
+		sampler.Precision = murphy.PrecisionFloat64
+	case "float32", "f32":
+		sampler.Precision = murphy.PrecisionFloat32
+	default:
+		fmt.Fprintf(os.Stderr, "murphy: unknown -precision %q (want float64 or float32)\n", *prec)
+		os.Exit(2)
+	}
+	if sampler != (murphy.SamplerConfig{}) {
+		opts = append(opts, murphy.WithSampler(sampler))
 	}
 	if *retries > 0 {
 		opts = append(opts, murphy.WithResilience(murphy.Resilience{

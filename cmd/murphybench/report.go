@@ -48,6 +48,14 @@ type fastPathJSON struct {
 	Top1Identical     bool    `json:"top1_identical"`
 	BaselineSamples   int     `json:"baseline_samples"`
 	FastSamples       int     `json:"fast_samples"`
+	// Kernel throughput A/B: the float32 batched kernel against the
+	// bit-stable float64 baseline, as raw Monte-Carlo draws per second of
+	// diagnosis wall time.
+	F32Ms                 float64 `json:"f32_ms"`
+	BaselineSamplesPerSec float64 `json:"baseline_samples_per_sec"`
+	F32SamplesPerSec      float64 `json:"f32_samples_per_sec"`
+	KernelSpeedup         float64 `json:"kernel_speedup"`
+	F32CausesIdentical    bool    `json:"f32_causes_identical"`
 }
 
 // trainScaleJSON is one (workers, chains) point of the trainscale sweep.
@@ -84,6 +92,12 @@ func fastPathReport(r *harness.FastPathResult) *fastPathJSON {
 		Top1Identical:     r.Top1Identical,
 		BaselineSamples:   r.BaselineSamples,
 		FastSamples:       r.FastSamples,
+
+		F32Ms:                 float64(r.F32Time) / float64(time.Millisecond),
+		BaselineSamplesPerSec: r.BaselineSamplesPerSec,
+		F32SamplesPerSec:      r.F32SamplesPerSec,
+		KernelSpeedup:         r.KernelSpeedup,
+		F32CausesIdentical:    r.F32CausesIdentical,
 	}
 }
 

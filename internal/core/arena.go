@@ -2,69 +2,73 @@ package core
 
 import "sync"
 
-// arena is the per-evaluation scratch space of the Gibbs resampler. One
-// counterfactual test runs two resampling passes, each of which previously
-// allocated a fresh chain buffer per touched (entity, metric) plus feature
-// scratch — tens of thousands of short-lived slices per diagnosis. The arena
-// keeps the buffers and hands them back across passes, batches, and (via the
-// model's pool) candidates, with a generation counter standing in for
-// clearing: a buffer whose gen is stale is reinitialized from the start
-// state on first touch, exactly like a fresh allocation.
+// arena is the per-chain scratch space of the batched Gibbs kernel. The
+// sampler's state — one vector of n parallel chain values per touched
+// (entity, metric) — lives in slot-indexed flat slices (see kernelTables'
+// slot table), plus the merged draw buffers of the fixed-budget test and the
+// float32 path's widening scratch. Every pass eagerly re-fills the slots its
+// plan touches from the start state, so buffers never need clearing between
+// passes, batches, or candidates; they just get reused at whatever capacity
+// they last grew to.
 //
-// An arena is single-goroutine scratch; DiagnoseParallel workers each take
-// their own from the model's pool.
+// An arena is single-goroutine scratch; multi-chain and DiagnoseParallel
+// workers each take their own from the model's pool.
 type arena struct {
-	gen   int
-	bufs  map[metricRef]*arenaBuf
-	feats [][]float64
-	x     []float64
+	vals64 [][]float64
+	vals32 [][]float32
+	// x is the per-sample feature gather buffer of generic (non-fused) steps.
+	x []float64
+	// d1/d2 hold the merged counterfactual/factual draws of the fixed-budget
+	// test across all chains.
+	d1, d2 []float64
+	// conv is the float64 view of a float32 pass's symptom draws.
+	conv []float64
 }
 
-type arenaBuf struct {
-	gen  int
-	vals []float64
+func newArena() *arena { return &arena{} }
+
+// slots64 returns the slot → chain-vector table, grown to nslots entries.
+func (a *arena) slots64(nslots int) [][]float64 {
+	if len(a.vals64) < nslots {
+		nv := make([][]float64, nslots)
+		copy(nv, a.vals64)
+		a.vals64 = nv
+	}
+	return a.vals64
 }
 
-func newArena() *arena {
-	return &arena{bufs: make(map[metricRef]*arenaBuf)}
+// slots32 is slots64 for the float32 kernel.
+func (a *arena) slots32(nslots int) [][]float32 {
+	if len(a.vals32) < nslots {
+		nv := make([][]float32, nslots)
+		copy(nv, a.vals32)
+		a.vals32 = nv
+	}
+	return a.vals32
 }
 
-// reset invalidates every chain buffer (cheaply, by bumping the generation)
-// so the next ensure reinitializes from its start state.
-func (a *arena) reset() { a.gen++ }
-
-// ensure returns the chain buffer for ref, sized n, initializing it from
-// start[ref] if it has not been touched since the last reset. The returned
-// slice is valid until the next reset.
-func (a *arena) ensure(ref metricRef, n int, start map[metricRef]float64) []float64 {
-	b := a.bufs[ref]
-	if b == nil {
-		b = &arenaBuf{gen: -1}
-		a.bufs[ref] = b
+// draws1/draws2 return the two merged draw vectors, sized n.
+func (a *arena) draws1(n int) []float64 {
+	if cap(a.d1) < n {
+		a.d1 = make([]float64, n)
 	}
-	if b.gen == a.gen && len(b.vals) == n {
-		return b.vals
-	}
-	if cap(b.vals) < n {
-		b.vals = make([]float64, n)
-	} else {
-		b.vals = b.vals[:n]
-	}
-	v := start[ref]
-	for i := range b.vals {
-		b.vals[i] = v
-	}
-	b.gen = a.gen
-	return b.vals
+	return a.d1[:n]
 }
 
-// featureScratch returns a reusable [][]float64 of length k for gathering
-// feature chains.
-func (a *arena) featureScratch(k int) [][]float64 {
-	if cap(a.feats) < k {
-		a.feats = make([][]float64, k)
+func (a *arena) draws2(n int) []float64 {
+	if cap(a.d2) < n {
+		a.d2 = make([]float64, n)
 	}
-	return a.feats[:k]
+	return a.d2[:n]
+}
+
+// scratch64 returns the float32 path's widening buffer, sized n with at
+// least hint capacity.
+func (a *arena) scratch64(n, hint int) []float64 {
+	if cap(a.conv) < n {
+		a.conv = make([]float64, maxInt(n, hint))
+	}
+	return a.conv[:n]
 }
 
 // arenaPool hands out arenas to candidate evaluations; it is shared (by
@@ -77,4 +81,4 @@ func newArenaPool() *arenaPool {
 }
 
 func (ap *arenaPool) get() *arena  { return ap.p.Get().(*arena) }
-func (ap *arenaPool) put(a *arena) { a.reset(); ap.p.Put(a) }
+func (ap *arenaPool) put(a *arena) { ap.p.Put(a) }

@@ -10,13 +10,8 @@ package core
 
 import (
 	"context"
-	"math/rand"
 	"runtime"
 	"sync"
-
-	"murphy/internal/obs"
-	"murphy/internal/stats"
-	"murphy/internal/telemetry"
 )
 
 // splitmix64 is the SplitMix64 finalizer: a bijective avalanche of the seed
@@ -128,129 +123,4 @@ func (m *Model) runChains(ctx context.Context, k int, ar *arena, fn func(c int, 
 		}
 	}
 	return nil
-}
-
-// sampleFullChains is sampleFull with the two cfg.Samples budgets split across
-// K chains. Chain c draws its counterfactual slice and then its factual slice
-// from one per-chain RNG (the same CF-then-F order as the single-stream
-// sampler uses globally) and copies both into its owned segments of the merged
-// draw vectors; the batch t-test then runs on the merged vectors exactly as in
-// sampleFull.
-func (m *Model) sampleFullChains(ctx context.Context, a, d telemetry.EntityID, path []telemetry.EntityID, cf map[metricRef]float64, symRef metricRef, alt stats.Alternative, ar *arena) (stats.TTestResult, float64, int, error) {
-	n := m.cfg.Samples
-	k := m.chainCount(n)
-	base := m.pairSeed(a, d)
-	d1 := make([]float64, n) // counterfactual draws
-	d2 := make([]float64, n) // factual draws
-	m.obs.Add(obs.CtrGibbsChains, int64(k))
-	err := m.runChains(ctx, k, ar, func(c int, car *arena) error {
-		lo, hi := chainBounds(n, k, c)
-		rng := rand.New(rand.NewSource(chainSeed(base, c)))
-		out, err := m.resampleSymptom(ctx, path, cf, symRef, rng, car, hi-lo)
-		if err != nil {
-			return err
-		}
-		copy(d1[lo:hi], out) // the factual pass below reuses the arena
-		out, err = m.resampleSymptom(ctx, path, m.current, symRef, rng, car, hi-lo)
-		if err != nil {
-			return err
-		}
-		copy(d2[lo:hi], out)
-		return nil
-	})
-	if err != nil {
-		return stats.TTestResult{}, 0, 0, err
-	}
-	res, err := stats.WelchTTest(d1, d2, alt)
-	if err != nil {
-		return stats.TTestResult{}, 0, 0, err
-	}
-	return res, stats.Mean(d2) - stats.Mean(d1), 2 * n, nil
-}
-
-// gibbsChain is one chain's state in the sequential multi-chain sampler: its
-// two RNG streams (counterfactual and factual, mirroring sampleEarlyStop's
-// independent streams), its share of the budget, and reusable buffers holding
-// the current round's draws until the in-order merge.
-type gibbsChain struct {
-	rngCF, rngF *rand.Rand
-	quota       int // total draws per side this chain owns
-	drawn       int // draws per side taken so far
-	cfD, fD     []float64
-}
-
-// sampleEarlyStopChains is the sequential test over K chains: each round,
-// every unfinished chain draws one counterfactual+factual batch pair (in
-// parallel), the batches merge into the streaming Welch state in chain order,
-// and the shared three-exit verdict (earlyStopVerdict) decides whether to
-// stop. Merging in chain order keeps the streaming moments a pure function of
-// (seed, K, rounds), so verdicts are bit-identical at any goroutine count.
-func (m *Model) sampleEarlyStopChains(ctx context.Context, a, d telemetry.EntityID, path []telemetry.EntityID, cf map[metricRef]float64, symRef metricRef, alt stats.Alternative, ar *arena, effScale float64) (stats.TTestResult, float64, int, error) {
-	n := m.cfg.Samples
-	k := m.chainCount(n)
-	base := m.pairSeed(a, d)
-	chains := make([]*gibbsChain, k)
-	for c := 0; c < k; c++ {
-		lo, hi := chainBounds(n, k, c)
-		seed := chainSeed(base, c)
-		chains[c] = &gibbsChain{
-			rngCF: rand.New(rand.NewSource(seed)),
-			rngF:  rand.New(rand.NewSource(seed ^ 0x5e9c3779b97f4a7d)),
-			quota: hi - lo,
-		}
-	}
-	m.obs.Add(obs.CtrGibbsChains, int64(k))
-	zConf := stats.NormalQuantile(m.cfg.EarlyStopConfidence)
-	var st stats.StreamingWelch
-	minDraws := earlyStopMinSamples
-	if minDraws > n {
-		minDraws = n
-	}
-	decisive := false
-	for drawn := 0; drawn < n && !decisive; {
-		err := m.runChains(ctx, k, ar, func(c int, car *arena) error {
-			ch := chains[c]
-			b := min(earlyStopBatch, ch.quota-ch.drawn)
-			ch.cfD, ch.fD = ch.cfD[:0], ch.fD[:0]
-			if b == 0 {
-				return nil
-			}
-			out, err := m.resampleSymptom(ctx, path, cf, symRef, ch.rngCF, car, b)
-			if err != nil {
-				return err
-			}
-			ch.cfD = append(ch.cfD, out...)
-			out, err = m.resampleSymptom(ctx, path, m.current, symRef, ch.rngF, car, b)
-			if err != nil {
-				return err
-			}
-			ch.fD = append(ch.fD, out...)
-			ch.drawn += b
-			return nil
-		})
-		if err != nil {
-			return stats.TTestResult{}, 0, 0, err
-		}
-		for _, ch := range chains { // merge in chain order: deterministic moments
-			st.A.AddAll(ch.cfD)
-			st.B.AddAll(ch.fD)
-			drawn += len(ch.cfD)
-		}
-		if drawn < minDraws {
-			continue
-		}
-		if m.earlyStopVerdict(&st, alt, zConf, effScale) {
-			decisive = true
-		}
-	}
-	if decisive {
-		m.obs.Add(obs.CtrEarlyStopDecisive, 1)
-	} else {
-		m.obs.Add(obs.CtrEarlyStopExhausted, 1)
-	}
-	res, err := st.Test(alt)
-	if err != nil {
-		return stats.TTestResult{}, 0, 0, err
-	}
-	return res, st.B.Mean() - st.A.Mean(), st.A.Count() + st.B.Count(), nil
 }

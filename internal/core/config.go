@@ -81,6 +81,61 @@ type Config struct {
 	// are pinned against; K >= 2 changes individual p-value bits (different
 	// RNG streams) but preserves the rankings on clear-cut workloads.
 	Chains int
+	// Sampler bundles every sampling-kernel knob behind one versioned
+	// surface. A non-zero bundle field overrides the corresponding flat
+	// field above (EarlyStop, EarlyStopConfidence, Chains — kept as
+	// deprecated aliases); new kernel knobs (Precision, ArenaSamples) exist
+	// only here. After sanitization the bundle and the aliases agree, so
+	// either view reports the effective configuration.
+	Sampler SamplerConfig
+}
+
+// Precision selects the floating-point width of the Gibbs sampling kernel.
+type Precision uint8
+
+const (
+	// PrecisionFloat64 is the default kernel: float64 chain state with
+	// math/rand noise streams, bit-identical to the original per-sample
+	// sampler (the golden rankings are pinned against it).
+	PrecisionFloat64 Precision = iota
+	// PrecisionFloat32 is the fast path: float32 chain state, regression
+	// terms folded to one multiply-add per feature, and a ziggurat noise
+	// source several times faster than math/rand. Verdicts are validated
+	// against float64 by the metamorph rescale-equivalence and
+	// certified-set-equality invariants rather than bit-compared.
+	PrecisionFloat32
+)
+
+// String names the precision for flags and logs.
+func (p Precision) String() string {
+	if p == PrecisionFloat32 {
+		return "float32"
+	}
+	return "float64"
+}
+
+// SamplerConfig is the bundled configuration of the batched Gibbs sampling
+// kernel: arithmetic precision, chain parallelism, sequential early
+// stopping, and scratch sizing. The zero value inherits the deprecated flat
+// Config fields and otherwise means "defaults".
+type SamplerConfig struct {
+	// Precision selects float64 (default, bit-compatible with the original
+	// sampler) or the float32 fast path.
+	Precision Precision
+	// Chains is the number of independent Gibbs chains per counterfactual
+	// test (see Config.Chains). 0 inherits Config.Chains.
+	Chains int
+	// EarlyStop enables the sequential streaming-Welch test (see
+	// Config.EarlyStop). false inherits Config.EarlyStop, so the deprecated
+	// flag cannot be un-set through the bundle.
+	EarlyStop bool
+	// EarlyStopConfidence is the sequential test's decision confidence (see
+	// Config.EarlyStopConfidence). 0 inherits the flat field.
+	EarlyStopConfidence float64
+	// ArenaSamples pre-sizes the per-chain scratch vectors (in samples) so
+	// arenas reused across diagnoses with growing budgets never regrow
+	// mid-pass. 0 sizes buffers on demand from each pass's batch size.
+	ArenaSamples int
 }
 
 // DefaultConfig returns the paper's parameter choices.
@@ -134,5 +189,23 @@ func (c Config) sanitized() Config {
 	if c.EarlyStopConfidence <= 0.5 || c.EarlyStopConfidence >= 1 {
 		c.EarlyStopConfidence = 0.999
 	}
+	// Resolve the sampler bundle against the deprecated flat aliases: a
+	// non-zero bundle field wins, an unset one inherits, and the result is
+	// mirrored both ways so cfg.Sampler and the flat fields agree.
+	if c.Sampler.Chains > 0 {
+		c.Chains = c.Sampler.Chains
+	}
+	if c.Sampler.EarlyStop {
+		c.EarlyStop = true
+	}
+	if c.Sampler.EarlyStopConfidence > 0.5 && c.Sampler.EarlyStopConfidence < 1 {
+		c.EarlyStopConfidence = c.Sampler.EarlyStopConfidence
+	}
+	if c.Sampler.ArenaSamples < 0 {
+		c.Sampler.ArenaSamples = 0
+	}
+	c.Sampler.Chains = c.Chains
+	c.Sampler.EarlyStop = c.EarlyStop
+	c.Sampler.EarlyStopConfidence = c.EarlyStopConfidence
 	return c
 }

@@ -5,7 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 	"time"
 
@@ -268,8 +267,8 @@ func (m *Model) evaluateCandidate(ctx context.Context, a telemetry.EntityID, sym
 	if symFactor == nil {
 		return RootCause{}, false, nil
 	}
-	cf := m.counterfactualState(a)
-	if cf == nil {
+	ov := m.counterfactualOverrides(a)
+	if ov == nil {
 		return RootCause{}, false, nil // nothing to perturb
 	}
 	alt := stats.Less // high symptom: counterfactual should be lower
@@ -287,22 +286,8 @@ func (m *Model) evaluateCandidate(ctx context.Context, a telemetry.EntityID, sym
 	if !symptom.High {
 		sign = -1
 	}
-	var (
-		res     stats.TTestResult
-		shift   float64 // mean(factual) - mean(counterfactual)
-		used    int
-		statErr error
-	)
-	switch {
-	case m.cfg.EarlyStop && m.cfg.Chains > 1:
-		res, shift, used, statErr = m.sampleEarlyStopChains(ctx, a, d, path, cf, symRef, alt, ar, sign/scale)
-	case m.cfg.EarlyStop:
-		res, shift, used, statErr = m.sampleEarlyStop(ctx, a, d, path, cf, symRef, alt, ar, sign/scale)
-	case m.cfg.Chains > 1:
-		res, shift, used, statErr = m.sampleFullChains(ctx, a, d, path, cf, symRef, alt, ar)
-	default:
-		res, shift, used, statErr = m.sampleFull(ctx, a, d, path, cf, symRef, alt, ar)
-	}
+	plan := m.planFor(a, symRef, path)
+	res, shift, used, statErr := m.sampleCandidate(ctx, a, d, plan, ov, alt, ar, sign/scale)
 	if statErr != nil {
 		if errors.Is(statErr, stats.ErrInsufficientData) {
 			return RootCause{}, false, nil
@@ -327,28 +312,6 @@ func (m *Model) evaluateCandidate(ctx context.Context, a telemetry.EntityID, sym
 	return rc, true, nil
 }
 
-// sampleFull is the paper's fixed-budget test: cfg.Samples counterfactual
-// draws, cfg.Samples factual draws (one shared RNG stream, matching the
-// original sequential implementation bit-for-bit), one batch t-test.
-func (m *Model) sampleFull(ctx context.Context, a, d telemetry.EntityID, path []telemetry.EntityID, cf map[metricRef]float64, symRef metricRef, alt stats.Alternative, ar *arena) (stats.TTestResult, float64, int, error) {
-	n := m.cfg.Samples
-	rng := rand.New(rand.NewSource(m.pairSeed(a, d)))
-	out1, err := m.resampleSymptom(ctx, path, cf, symRef, rng, ar, n) // counterfactual start
-	if err != nil {
-		return stats.TTestResult{}, 0, 0, err
-	}
-	d1 := append([]float64(nil), out1...)                                  // the next pass reuses the arena
-	d2, err := m.resampleSymptom(ctx, path, m.current, symRef, rng, ar, n) // factual start
-	if err != nil {
-		return stats.TTestResult{}, 0, 0, err
-	}
-	res, err := stats.WelchTTest(d1, d2, alt)
-	if err != nil {
-		return stats.TTestResult{}, 0, 0, err
-	}
-	return res, stats.Mean(d2) - stats.Mean(d1), 2 * n, nil
-}
-
 // earlyStopBatch is the draw granularity of the sequential test; the verdict
 // is re-examined after every counterfactual+factual batch pair once
 // earlyStopMinSamples draws per side have accumulated.
@@ -357,59 +320,149 @@ const (
 	earlyStopMinSamples = 512
 )
 
-// sampleEarlyStop is the sequential fast path: the two Monte-Carlo runs are
-// drawn in interleaved batches through a streaming Welch t-test, stopping as
-// soon as the candidate's verdict is decided with zConf = Φ⁻¹(confidence)
-// standard deviations of margin (or the full cfg.Samples budget is spent).
-// The accept criterion has two arms (p ≤ Alpha AND effect ≥ MinEffect), so
-// there are three decisive exits:
+// sampleCandidate runs one candidate's counterfactual test on the batched
+// kernel, returning the test result, the raw mean shift
+// mean(factual)−mean(counterfactual), and the total draws consumed. It is
+// the single sampling path behind every configuration — fixed-budget or
+// sequential, one chain or many — with the mode differences reduced to seed
+// derivation, budget partitioning, and when the verdict is examined:
 //
-//   - the effect is decisively below MinEffect → rejected, whatever p says
-//     (this is what stops near-null candidates: their t statistic hovers in
-//     the undecided band forever, but their effect pins to ~0 quickly);
+//   - Fixed budget (cfg.EarlyStop off): every chain draws its whole quota
+//     counterfactual-then-factual from one stream into its owned segment of
+//     the merged draw vectors, then one batch Welch t-test runs on the
+//     merge. A single chain reproduces the original sequential sampler's
+//     stream bit-for-bit (one pairSeed stream, CF then F).
+//
+//   - Sequential (cfg.EarlyStop on): each chain owns two independent
+//     streams (counterfactual and factual, so neither run's draws depend on
+//     where the other stopped) and draws in earlyStopBatch-sized rounds;
+//     batches merge into the streaming Welch state in chain order, and the
+//     shared three-exit verdict (earlyStopVerdict) decides when to stop:
+//
+//   - the effect is decisively below MinEffect → rejected, whatever p
+//     says (this is what stops near-null candidates: their t statistic
+//     hovers in the undecided band forever, but their effect pins to ~0
+//     quickly);
+//
 //   - p is decisively above Alpha → rejected;
+//
 //   - p is decisively below Alpha AND the effect is decisively above
 //     MinEffect → accepted.
 //
-// Each run gets its own deterministic RNG stream so the draws do not depend
-// on where the other run stopped.
+// Chain c always owns the same budget slice and the same seeds, and merges
+// happen in chain order, so for a fixed chain count every verdict is
+// bit-identical no matter how many goroutines actually ran. Seed derivation
+// is keyed on the configured chain count (not the budget-clamped effective
+// one): a single-chain config uses the pairSeed stream directly — the
+// historical bit pattern the golden rankings pin — while any multi-chain
+// config derives per-chain streams through chainSeed.
 //
-// effScale maps a raw mean shift mean(factual)-mean(counterfactual) to the
-// signed effect the accept criterion uses (±1/hstd of the symptom factor).
-func (m *Model) sampleEarlyStop(ctx context.Context, a, d telemetry.EntityID, path []telemetry.EntityID, cf map[metricRef]float64, symRef metricRef, alt stats.Alternative, ar *arena, effScale float64) (stats.TTestResult, float64, int, error) {
+// effScale maps a raw mean shift to the signed effect the accept criterion
+// uses (±1/hstd of the symptom factor).
+func (m *Model) sampleCandidate(ctx context.Context, a, d telemetry.EntityID, plan *pathPlan, ov *overrides, alt stats.Alternative, ar *arena, effScale float64) (stats.TTestResult, float64, int, error) {
 	n := m.cfg.Samples
-	seed := m.pairSeed(a, d)
-	rngCF := rand.New(rand.NewSource(seed))
-	rngF := rand.New(rand.NewSource(seed ^ 0x5e9c3779b97f4a7d)) // independent stream
+	base := m.pairSeed(a, d)
+	multi := m.cfg.Chains > 1
+	k := 1
+	if multi {
+		k = m.chainCount(n)
+		m.obs.Add(obs.CtrGibbsChains, int64(k))
+	}
+	seedOf := func(c int) int64 {
+		if multi {
+			return chainSeed(base, c)
+		}
+		return base
+	}
+
+	if !m.cfg.EarlyStop {
+		d1 := ar.draws1(n) // counterfactual draws
+		d2 := ar.draws2(n) // factual draws
+		err := m.runChains(ctx, k, ar, func(c int, car *arena) error {
+			lo, hi := chainBounds(n, k, c)
+			ns := m.newStream(seedOf(c))
+			out, err := m.runPass(ctx, plan, ov, ns, car, hi-lo)
+			if err != nil {
+				return err
+			}
+			copy(d1[lo:hi], out) // the factual pass below reuses the arena
+			out, err = m.runPass(ctx, plan, nil, ns, car, hi-lo)
+			if err != nil {
+				return err
+			}
+			copy(d2[lo:hi], out)
+			return nil
+		})
+		if err != nil {
+			return stats.TTestResult{}, 0, 0, err
+		}
+		res, err := stats.WelchTTest(d1, d2, alt)
+		if err != nil {
+			return stats.TTestResult{}, 0, 0, err
+		}
+		return res, stats.Mean(d2) - stats.Mean(d1), 2 * n, nil
+	}
+
+	// esChain is one chain's sequential-test state: its two noise streams,
+	// its share of the budget, and reusable buffers holding the current
+	// round's draws until the in-order merge.
+	type esChain struct {
+		cf, f   noiseStream
+		quota   int
+		drawn   int
+		cfD, fD []float64
+	}
+	chains := make([]*esChain, k)
+	for c := range chains {
+		lo, hi := chainBounds(n, k, c)
+		seed := seedOf(c)
+		chains[c] = &esChain{
+			cf:    m.newStream(seed),
+			f:     m.newStream(seed ^ 0x5e9c3779b97f4a7d), // independent stream
+			quota: hi - lo,
+		}
+	}
 	zConf := stats.NormalQuantile(m.cfg.EarlyStopConfidence)
 	var st stats.StreamingWelch
-	min := earlyStopMinSamples
-	if min > n {
-		min = n
+	minDraws := earlyStopMinSamples
+	if minDraws > n {
+		minDraws = n
 	}
 	decisive := false
-	for drawn := 0; drawn < n; {
-		k := earlyStopBatch
-		if k > n-drawn {
-			k = n - drawn
-		}
-		out, err := m.resampleSymptom(ctx, path, cf, symRef, rngCF, ar, k)
+	for drawn := 0; drawn < n && !decisive; {
+		err := m.runChains(ctx, k, ar, func(c int, car *arena) error {
+			ch := chains[c]
+			b := min(earlyStopBatch, ch.quota-ch.drawn)
+			ch.cfD, ch.fD = ch.cfD[:0], ch.fD[:0]
+			if b == 0 {
+				return nil
+			}
+			out, err := m.runPass(ctx, plan, ov, ch.cf, car, b)
+			if err != nil {
+				return err
+			}
+			ch.cfD = append(ch.cfD, out...)
+			out, err = m.runPass(ctx, plan, nil, ch.f, car, b)
+			if err != nil {
+				return err
+			}
+			ch.fD = append(ch.fD, out...)
+			ch.drawn += b
+			return nil
+		})
 		if err != nil {
 			return stats.TTestResult{}, 0, 0, err
 		}
-		st.A.AddAll(out)
-		out, err = m.resampleSymptom(ctx, path, m.current, symRef, rngF, ar, k)
-		if err != nil {
-			return stats.TTestResult{}, 0, 0, err
+		for _, ch := range chains { // merge in chain order: deterministic moments
+			st.A.AddAll(ch.cfD)
+			st.B.AddAll(ch.fD)
+			drawn += len(ch.cfD)
 		}
-		st.B.AddAll(out)
-		drawn += k
-		if drawn < min {
+		if drawn < minDraws {
 			continue
 		}
 		if m.earlyStopVerdict(&st, alt, zConf, effScale) {
 			decisive = true
-			break
 		}
 	}
 	if decisive {
@@ -452,16 +505,17 @@ func (m *Model) earlyStopVerdict(st *stats.StreamingWelch, alt stats.Alternative
 	return eff-zConf*effSE > m.cfg.MinEffect // both arms of the accept criterion decided
 }
 
-// counterfactualState returns a copy of the current state with candidate A's
-// anomalous metrics moved cfg.CounterfactualSigma standard deviations toward
-// their historical means. When none of A's metrics clear the pruning
+// counterfactualOverrides returns candidate A's counterfactual start state:
+// its anomalous metrics moved cfg.CounterfactualSigma standard deviations
+// toward their historical means, as a sparse slot override list on top of
+// the model's current state. When none of A's metrics clear the pruning
 // threshold, the single most anomalous metric is moved instead; a candidate
-// with no usable history yields nil.
-func (m *Model) counterfactualState(a telemetry.EntityID) map[metricRef]float64 {
-	cf := make(map[metricRef]float64, len(m.current))
-	for k, v := range m.current {
-		cf[k] = v
-	}
+// with no usable history yields nil. (The sampler used to copy the whole
+// current-state map per candidate just to move these few entries; the
+// override list is the same perturbation without the copy.)
+func (m *Model) counterfactualOverrides(a telemetry.EntityID) *overrides {
+	slotOf := m.slots()
+	ov := &overrides{}
 	moved := false
 	bestRef := metricRef{}
 	bestZ := 0.0
@@ -477,7 +531,8 @@ func (m *Model) counterfactualState(a telemetry.EntityID) map[metricRef]float64 
 			bestZ, bestRef = az, ref
 		}
 		if az >= m.cfg.AnomalyZ {
-			cf[ref] = m.moveTowardNormal(ref, z)
+			ov.slots = append(ov.slots, slotOf[ref])
+			ov.vals = append(ov.vals, m.moveTowardNormal(ref, z))
 			moved = true
 		}
 	}
@@ -487,9 +542,10 @@ func (m *Model) counterfactualState(a telemetry.EntityID) map[metricRef]float64 
 		}
 		f := m.factors[bestRef]
 		z := (m.current[bestRef] - f.hmean) / f.hstd
-		cf[bestRef] = m.moveTowardNormal(bestRef, z)
+		ov.slots = append(ov.slots, slotOf[bestRef])
+		ov.vals = append(ov.vals, m.moveTowardNormal(bestRef, z))
 	}
-	return cf
+	return ov
 }
 
 // moveTowardNormal returns the counterfactual value for a metric whose
@@ -505,66 +561,6 @@ func (m *Model) moveTowardNormal(ref metricRef, z float64) float64 {
 		return m.current[ref] - step*f.hstd
 	}
 	return m.current[ref] + step*f.hstd
-}
-
-// resampleSymptom runs the Gibbs-variant resampler: starting from the given
-// state, it resamples every metric of every node on the path (ordered by
-// distance from the candidate), repeats for cfg.GibbsRounds rounds, and
-// returns n Monte-Carlo draws of the symptom metric. The candidate (first
-// node) is pinned: its state is the perturbation under test.
-//
-// All chains are advanced in lockstep so the per-factor feature assembly is
-// amortized across samples, and all chain state lives in the arena, whose
-// buffers are recycled across passes and candidates. The returned slice is
-// arena-owned: it is valid until the arena's next pass (callers either
-// consume it immediately or copy). The context is checked once per
-// (round, node) step — frequent enough that an expired deadline stops a
-// long resampling within a small fraction of its runtime.
-func (m *Model) resampleSymptom(ctx context.Context, path []telemetry.EntityID, start map[metricRef]float64, symRef metricRef, rng *rand.Rand, ar *arena, n int) ([]float64, error) {
-	ar.reset() // invalidate chain state of any previous pass
-	// Pre-touch the symptom ref so a degenerate path still yields samples.
-	ar.ensure(symRef, n, start)
-
-	x := ar.x[:0]
-	defer func() { ar.x = x[:0] }()
-	for round := 0; round < m.cfg.GibbsRounds; round++ {
-		for pi, id := range path {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			if pi == 0 {
-				continue // the candidate's perturbed state is held fixed
-			}
-			for _, name := range m.metricsOf[id] {
-				ref := metricRef{id, name}
-				f := m.factors[ref]
-				if f == nil {
-					continue
-				}
-				out := ar.ensure(ref, n, start)
-				// Gather feature chains (ensure initializes any feature
-				// not yet materialized from the start state).
-				featChains := ar.featureScratch(len(f.features))
-				for j, fr := range f.features {
-					featChains[j] = ar.ensure(fr, n, start)
-				}
-				noise := f.model.ResidualStd()
-				for i := 0; i < n; i++ {
-					x = x[:0]
-					for j := range featChains {
-						x = append(x, featChains[j][i])
-					}
-					v := f.model.Predict(x)
-					if noise > 0 {
-						v += rng.NormFloat64() * noise
-					}
-					out[i] = v
-				}
-			}
-		}
-	}
-	m.obs.Add(obs.CtrGibbsSamples, int64(n))
-	return ar.ensure(symRef, n, start), nil
 }
 
 // pairSeed derives the RNG base seed for one (candidate, symptom) test:

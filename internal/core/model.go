@@ -101,6 +101,14 @@ type Model struct {
 	// arenas pools the Gibbs resampler's scratch buffers across candidate
 	// evaluations and DiagnoseParallel workers.
 	arenas *arenaPool
+	// kern holds the sampling kernel's compiled artifacts — the metricRef →
+	// slot table and the per-(candidate, symptom) execution plan cache.
+	// Shared (by pointer) with Rebind copies: plans depend only on factor
+	// topology and trained weights, which Rebind preserves.
+	kern *kernelTables
+	// base caches the slot-indexed flat copies of `current` the kernel
+	// starts each pass from. Per-model (Rebind changes `current`).
+	base *slotBase
 	// obs receives pipeline instrumentation (stage spans, counters,
 	// histograms, progress events). Never nil: trainAt defaults it to
 	// obs.Global(), which is disabled unless something enables it, so the
@@ -242,6 +250,8 @@ func trainAt(ctx context.Context, db *telemetry.DB, g *graph.Graph, cfg Config, 
 		now:       now,
 		paths:     graph.NewSubgraphCache(g),
 		arenas:    newArenaPool(),
+		kern:      newKernelTables(),
+		base:      &slotBase{},
 		obs:       rec,
 	}
 	if rec.Enabled() {
@@ -532,6 +542,7 @@ func (m *Model) Rebind(now int) (*Model, error) {
 	}
 	nm := *m
 	nm.now = now
+	nm.base = &slotBase{} // the flat start-state vectors track `current`
 	nm.current = make(map[metricRef]float64, len(m.current))
 	nm.factors = make(map[metricRef]*factor, len(m.factors))
 	for _, id := range m.g.IDs() {

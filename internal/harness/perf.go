@@ -11,6 +11,7 @@ import (
 	"murphy/internal/evalx"
 	"murphy/internal/graph"
 	"murphy/internal/microsim"
+	"murphy/internal/obs"
 	"murphy/internal/telemetry"
 )
 
@@ -320,6 +321,20 @@ type FastPathResult struct {
 	// BaselineSamples / FastSamples total the Monte-Carlo draws spent in
 	// certified causes.
 	BaselineSamples, FastSamples int
+	// F32Time is the total train+diagnose wall time of the float32-kernel
+	// arm (full sample budget, factor cache — the kernel A/B against the
+	// baseline arm).
+	F32Time time.Duration
+	// BaselineSamplesPerSec / F32SamplesPerSec are raw sampling-kernel
+	// throughputs (Monte-Carlo draws per second of diagnosis wall time) of
+	// the float64 baseline and the float32 fast-path arms.
+	BaselineSamplesPerSec, F32SamplesPerSec float64
+	// KernelSpeedup is F32SamplesPerSec / BaselineSamplesPerSec.
+	KernelSpeedup float64
+	// F32CausesIdentical is whether the float32 kernel certified exactly the
+	// baseline's ranked cause list (same entities, same order) in every
+	// diagnosis — the certified-set equality check of the fast path.
+	F32CausesIdentical bool
 	// CacheStats aggregates the factor cache counters of the fast runs.
 	CacheStats core.FactorCacheStats
 }
@@ -337,7 +352,11 @@ func RunFastPath(opts FastPathOptions) (*FastPathResult, error) {
 	fastCfg := baseCfg
 	fastCfg.EarlyStop = true
 	fastCfg.EarlyStopConfidence = opts.Confidence
-	res := &FastPathResult{Opts: opts, RankingsIdentical: true, Top1Identical: true}
+	f32Cfg := baseCfg
+	f32Cfg.Sampler.Precision = core.PrecisionFloat32
+	res := &FastPathResult{Opts: opts, RankingsIdentical: true, Top1Identical: true, F32CausesIdentical: true}
+	var baseDraws, f32Draws int64
+	var baseDiagTime, f32DiagTime time.Duration
 	kinds := []microsim.FaultKind{microsim.FaultCPU, microsim.FaultMem, microsim.FaultDisk}
 	for v := 0; v < opts.Scenarios; v++ {
 		sc, err := microsim.Contention(microsim.ContentionOptions{
@@ -352,38 +371,60 @@ func RunFastPath(opts FastPathOptions) (*FastPathResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		run := func(cfg core.Config, cache *core.FactorCache) ([]*core.Diagnosis, time.Duration, error) {
+		// run returns the diagnoses, the total train+diagnose wall time, the
+		// diagnosis-only wall time, and the Monte-Carlo draws taken — the
+		// last two feed the raw kernel-throughput (samples/sec) comparison.
+		run := func(cfg core.Config, cache *core.FactorCache) ([]*core.Diagnosis, time.Duration, time.Duration, int64, error) {
+			rec := obs.New()
+			rec.Enable()
 			var out []*core.Diagnosis
+			var diagTime time.Duration
 			t0 := time.Now()
 			for r := 0; r < opts.Rounds; r++ {
-				model, err := core.TrainOpt(context.Background(), db, g, cfg, core.TrainOpts{Now: -1, Cache: cache})
+				model, err := core.TrainOpt(context.Background(), db, g, cfg, core.TrainOpts{Now: -1, Cache: cache, Obs: rec})
 				if err != nil {
-					return nil, 0, err
+					return nil, 0, 0, 0, err
 				}
+				d0 := time.Now()
 				diag, err := model.DiagnoseParallel(sc.Symptom, opts.Workers)
 				if err != nil {
-					return nil, 0, err
+					return nil, 0, 0, 0, err
 				}
+				diagTime += time.Since(d0)
 				out = append(out, diag)
 			}
-			return out, time.Since(t0), nil
+			return out, time.Since(t0), diagTime, rec.Counter(obs.CtrGibbsSamples), nil
 		}
-		base, dt, err := run(baseCfg, nil)
+		base, dt, diagDt, draws, err := run(baseCfg, nil)
 		if err != nil {
 			return nil, err
 		}
 		res.BaselineTime += dt
-		cached, dt, err := run(baseCfg, core.NewFactorCache(0))
+		baseDiagTime += diagDt
+		baseDraws += draws
+		cached, dt, _, _, err := run(baseCfg, core.NewFactorCache(0))
 		if err != nil {
 			return nil, err
 		}
 		res.CacheOnlyTime += dt
 		fastCache := core.NewFactorCache(0)
-		fast, dt, err := run(fastCfg, fastCache)
+		fast, dt, _, _, err := run(fastCfg, fastCache)
 		if err != nil {
 			return nil, err
 		}
 		res.FastTime += dt
+		f32, dt, diagDt, draws, err := run(f32Cfg, core.NewFactorCache(0))
+		if err != nil {
+			return nil, err
+		}
+		res.F32Time += dt
+		f32DiagTime += diagDt
+		f32Draws += draws
+		for r := 0; r < opts.Rounds; r++ {
+			if !sameRanked(base[r], f32[r]) {
+				res.F32CausesIdentical = false
+			}
+		}
 		st := fastCache.Stats()
 		res.CacheStats.Hits += st.Hits
 		res.CacheStats.Misses += st.Misses
@@ -408,7 +449,31 @@ func RunFastPath(opts FastPathOptions) (*FastPathResult, error) {
 	if res.FastTime > 0 {
 		res.Speedup = float64(res.BaselineTime) / float64(res.FastTime)
 	}
+	if s := baseDiagTime.Seconds(); s > 0 {
+		res.BaselineSamplesPerSec = float64(baseDraws) / s
+	}
+	if s := f32DiagTime.Seconds(); s > 0 {
+		res.F32SamplesPerSec = float64(f32Draws) / s
+	}
+	if res.BaselineSamplesPerSec > 0 {
+		res.KernelSpeedup = res.F32SamplesPerSec / res.BaselineSamplesPerSec
+	}
 	return res, nil
+}
+
+// sameRanked reports whether two diagnoses certified the same ranked cause
+// entities (set and order; p-value bits are allowed to differ — this is the
+// cross-precision equivalence check, not the bit-identity one).
+func sameRanked(a, b *core.Diagnosis) bool {
+	if len(a.Causes) != len(b.Causes) {
+		return false
+	}
+	for i := range a.Causes {
+		if a.Causes[i].Entity != b.Causes[i].Entity {
+			return false
+		}
+	}
+	return true
 }
 
 // sameCauses reports whether two diagnoses certified the same causes, in the
@@ -443,8 +508,11 @@ func (r *FastPathResult) String() string {
 	fmt.Fprintf(&b, "  %-28s %12s\n", "baseline (classic)", r.BaselineTime.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  %-28s %12s\n", "factor cache only", r.CacheOnlyTime.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  %-28s %12s\n", "cache + early stop", r.FastTime.Round(time.Millisecond))
+	fmt.Fprintf(&b, "  %-28s %12s\n", "float32 kernel", r.F32Time.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  speedup %.1fx   rankings identical (cache): %v   top-1 identical (fast): %v\n",
 		r.Speedup, r.RankingsIdentical, r.Top1Identical)
+	fmt.Fprintf(&b, "  kernel throughput: %.3gM samples/sec (float64) -> %.3gM samples/sec (float32), %.1fx, causes identical: %v\n",
+		r.BaselineSamplesPerSec/1e6, r.F32SamplesPerSec/1e6, r.KernelSpeedup, r.F32CausesIdentical)
 	fmt.Fprintf(&b, "  MC draws in causes: %d -> %d   cache: %d hits / %d misses\n",
 		r.BaselineSamples, r.FastSamples, r.CacheStats.Hits, r.CacheStats.Misses)
 	return b.String()

@@ -23,6 +23,9 @@ type Options struct {
 	Chains int
 	// Workers is the training worker pool size (0/1 = serial).
 	Workers int
+	// Precision selects the sampling kernel width (the zero value is the
+	// bit-stable float64 reference; PrecisionFloat32 is the fast path).
+	Precision core.Precision
 	// SeedFor overrides the per-candidate-pair RNG seed derivation (used by
 	// the rename invariant to replay the original IDs' streams).
 	SeedFor func(candidate, symptom telemetry.EntityID) int64
@@ -46,6 +49,7 @@ func Diagnose(c *Case, opt Options) (*core.Diagnosis, error) {
 	cfg := BaseConfig()
 	cfg.EarlyStop = opt.EarlyStop
 	cfg.Chains = opt.Chains
+	cfg.Sampler.Precision = opt.Precision
 	cfg.SeedFor = opt.SeedFor
 	if opt.Samples > 0 {
 		cfg.Samples = opt.Samples
@@ -274,14 +278,16 @@ func hitTopK(d *core.Diagnosis, accept map[telemetry.EntityID]bool, k int) bool 
 
 // FastPathGrid enumerates every fast-path configuration the cross-check
 // compares against the reference serial path: cache × early-stop × chains ×
-// train workers.
+// train workers × kernel precision.
 func FastPathGrid() []Options {
 	var grid []Options
 	for _, cache := range []bool{false, true} {
 		for _, es := range []bool{false, true} {
 			for _, chains := range []int{1, 2} {
 				for _, workers := range []int{1, 4} {
-					grid = append(grid, Options{Cache: cache, EarlyStop: es, Chains: chains, Workers: workers})
+					for _, prec := range []core.Precision{core.PrecisionFloat64, core.PrecisionFloat32} {
+						grid = append(grid, Options{Cache: cache, EarlyStop: es, Chains: chains, Workers: workers, Precision: prec})
+					}
 				}
 			}
 		}
@@ -309,22 +315,23 @@ func CheckCrossConfigs(c *Case) error {
 		return caseErr(c, "reference", err)
 	}
 	for _, opt := range FastPathGrid() {
-		if !opt.Cache && !opt.EarlyStop && opt.Chains <= 1 && opt.Workers <= 1 {
+		if !opt.Cache && !opt.EarlyStop && opt.Chains <= 1 && opt.Workers <= 1 && opt.Precision == core.PrecisionFloat64 {
 			continue // the reference itself
 		}
 		opt.Samples = crossCheckSamples
-		label := fmt.Sprintf("config{cache=%v earlystop=%v chains=%d workers=%d}", opt.Cache, opt.EarlyStop, opt.Chains, opt.Workers)
+		label := fmt.Sprintf("config{cache=%v earlystop=%v chains=%d workers=%d prec=%s}", opt.Cache, opt.EarlyStop, opt.Chains, opt.Workers, opt.Precision)
 		got, err := Diagnose(c, opt)
 		if err != nil {
 			return caseErr(c, label, err)
 		}
-		if !opt.EarlyStop && opt.Chains <= 1 {
+		if !opt.EarlyStop && opt.Chains <= 1 && opt.Precision == core.PrecisionFloat64 {
 			// Training-only variants promise bit-identical factors.
 			err = bitIdentical(ref, got, identity)
 		} else {
-			// Early stopping truncates samples and extra chains use
-			// different RNG streams: decisive causes must agree, borderline
-			// ones may flip.
+			// Early stopping truncates samples, extra chains use different
+			// RNG streams, and the float32 kernel uses different streams and
+			// arithmetic: decisive causes must agree, borderline ones may
+			// flip.
 			err = agreeCertified(ref, got)
 		}
 		if err != nil {

@@ -184,6 +184,18 @@ func (r *Ridge) Predict(x []float64) float64 {
 	return p
 }
 
+// LinearTerms exposes the fitted standardized linear form,
+//
+//	ŷ = intercept + Σ_j coef[j]·(x[j]−mean[j])/std[j],
+//
+// so the batched sampling kernel can apply the model slice-at-a-time over
+// whole chain vectors instead of calling Predict per sample. ok is false
+// until Fit has run. The returned slices are the model's own backing arrays:
+// callers must treat them as read-only.
+func (r *Ridge) LinearTerms() (coef, mean, std []float64, intercept float64, ok bool) {
+	return r.coef, r.featMean, r.featStd, r.intercept, r.fitted
+}
+
 // FitColumns trains the ridge from feature columns (cols[j][i] is feature j
 // at time slice i), bit-identical to Fit on the row-major transpose: the
 // standardization, the Gram/X'y accumulations (via the blocked column kernels

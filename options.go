@@ -42,6 +42,25 @@ type FactorCacheStats = core.FactorCacheStats
 // capacity factors (<= 0 uses the default); entries are evicted LRU.
 func NewFactorCache(capacity int) *FactorCache { return core.NewFactorCache(capacity) }
 
+// SamplerConfig bundles every knob of the batched Gibbs sampling kernel
+// (precision, chains, early stopping, scratch sizing); see WithSampler.
+type SamplerConfig = core.SamplerConfig
+
+// Precision selects the floating-point width of the sampling kernel; see
+// PrecisionFloat64 and PrecisionFloat32.
+type Precision = core.Precision
+
+const (
+	// PrecisionFloat64 is the default kernel: bit-identical to the original
+	// per-sample sampler (golden rankings are pinned against it).
+	PrecisionFloat64 = core.PrecisionFloat64
+	// PrecisionFloat32 is the fast path: float32 chain state, folded
+	// regression terms, and a table-driven noise source — several times the
+	// sampling throughput, validated against float64 by the metamorphic
+	// equivalence suite rather than bit-compared.
+	PrecisionFloat32 = core.PrecisionFloat32
+)
+
 // Option customizes a System.
 type Option func(*System)
 
@@ -103,13 +122,36 @@ func WithParallelTraining(n int) Option {
 	}
 }
 
-// WithChains splits each counterfactual test's factual and counterfactual
-// Monte-Carlo draws across k independent Gibbs chains with splitmix-derived
-// RNG streams, run on up to min(k, GOMAXPROCS) goroutines. For a fixed k the
-// verdicts are bit-identical at any goroutine count; k <= 1 keeps the
-// historical single-stream sampler (the default). Early stopping
-// (WithEarlyStop) still works: chain batches merge through the streaming
-// Welch test in chain order. Apply after WithConfig.
+// WithSampler configures the batched Gibbs sampling kernel in one bundle
+// (the survivor of WithChains/WithEarlyStop, which set the deprecated flat
+// Config fields):
+//
+//   - Precision: PrecisionFloat64 (default, bit-identical to the original
+//     sampler) or PrecisionFloat32 (the fast path — several times the
+//     sampling throughput at float32 chain state).
+//   - Chains: split each counterfactual test's draws across k independent
+//     Gibbs chains with splitmix-derived RNG streams, run on up to
+//     min(k, GOMAXPROCS) goroutines. For a fixed k the verdicts are
+//     bit-identical at any goroutine count; 0 or 1 keeps the historical
+//     single-stream sampler.
+//   - EarlyStop / EarlyStopConfidence: sequential significance testing —
+//     draws arrive in batches through a streaming Welch t-test and stop as
+//     soon as the verdict at Alpha is decided with margin to spare
+//     (confidence 0 uses the 0.999 default).
+//   - ArenaSamples: pre-size the per-chain scratch vectors.
+//
+// Apply after WithConfig. A non-zero bundle field overrides the
+// corresponding deprecated flat Config field (and option); zero-value bundle
+// fields inherit them, so existing WithChains/WithEarlyStop callers keep
+// their behavior.
+func WithSampler(sc SamplerConfig) Option {
+	return func(s *System) { s.cfg.Sampler = sc }
+}
+
+// WithChains splits each counterfactual test's Monte-Carlo draws across k
+// independent Gibbs chains.
+//
+// Deprecated: use WithSampler(SamplerConfig{Chains: k}).
 func WithChains(k int) Option {
 	return func(s *System) {
 		if k < 1 {
@@ -120,12 +162,10 @@ func WithChains(k int) Option {
 }
 
 // WithEarlyStop enables sequential significance testing at the given
-// confidence (0 uses the 0.999 default): each counterfactual test draws its
-// Monte-Carlo samples in batches and stops as soon as the verdict at Alpha
-// is decided with margin to spare, cutting the sample budget by an order of
-// magnitude for clear-cut candidates. Verdicts match the full-budget run in
-// practice (the margin keeps borderline candidates sampling), but reported
-// p-values come from the truncated sample. Apply after WithConfig.
+// confidence (0 uses the 0.999 default).
+//
+// Deprecated: use WithSampler(SamplerConfig{EarlyStop: true,
+// EarlyStopConfidence: confidence}).
 func WithEarlyStop(confidence float64) Option {
 	return func(s *System) {
 		s.cfg.EarlyStop = true
