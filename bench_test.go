@@ -562,6 +562,57 @@ func BenchmarkCoreTrainParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkIncrementalTrain replays a sliding window (one-slice advances)
+// over the contention workload: "full" retrains every factor from scratch at
+// each slide, "incremental" slides the factor store's sufficient statistics
+// and refits only where feature selection changes. The ratio of the two is
+// the steady-state training-cost reduction of the incremental trainer.
+func BenchmarkIncrementalTrain(b *testing.B) {
+	const slides = 8
+	sc, err := microsim.Contention(microsim.DefaultContentionOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := sc.Result.DB
+	g, err := graph.Build(db, []telemetry.EntityID{sc.Symptom.Entity}, -1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := benchConfig()
+	ctx := context.Background()
+	anchor := db.Len() - 1 - slides
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for t := anchor + 1; t < db.Len(); t++ {
+				if _, err := core.TrainOpt(ctx, db, g, cfg, core.TrainOpts{Now: t}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		store := core.NewFactorStore()
+		for i := 0; i < b.N; i++ {
+			// Re-anchor untimed so every iteration measures pure steady
+			// state: the store populated, then `slides` one-slice advances.
+			b.StopTimer()
+			store.Reset()
+			if _, err := core.TrainOpt(ctx, db, g, cfg, core.TrainOpts{Now: anchor, Store: store}); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			for t := anchor + 1; t < db.Len(); t++ {
+				if _, err := core.TrainOpt(ctx, db, g, cfg, core.TrainOpts{Now: t, Store: store}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		st := store.Stats()
+		b.ReportMetric(float64(st.Hits)/float64(b.N), "hits/op")
+		b.ReportMetric(float64(st.Refits)/float64(b.N), "refits/op")
+	})
+}
+
 // BenchmarkDiagnoseChains times multi-chain Gibbs sampling across chain
 // counts; chains=1 is the untouched legacy single-stream sampler.
 func BenchmarkDiagnoseChains(b *testing.B) {

@@ -42,6 +42,7 @@ func main() {
 		prec     = flag.String("precision", "float64", "sampling kernel precision: float64 (bit-stable default) or float32 (fast path)")
 		retries  = flag.Int("retries", 0, "retry attempts for transient telemetry read faults (0 = no retry layer)")
 		cache    = flag.Bool("cache", false, "reuse trained factors across the diagnoses of this run (behavior-preserving)")
+		inctrain = flag.Bool("inctrain", false, "maintain trained factors incrementally across the diagnoses of this run: windows that slide between diagnoses update sufficient statistics instead of retraining (supersedes -cache)")
 		early    = flag.Float64("earlystop", 0, "early-stop confidence for the counterfactual tests, e.g. 0.999 (0 = full sample budget)")
 		edges    = flag.String("edges", "", "edge-list file overlaying known associations onto the snapshot (\"a -> b\" directed, \"a -- b\" loose)")
 		outFmt   = flag.String("o", "text", "output format: text or json (the versioned Report schema)")
@@ -114,6 +115,9 @@ func main() {
 	}
 	if *cache {
 		opts = append(opts, murphy.WithCaching(murphy.Caching{}))
+	}
+	if *inctrain {
+		opts = append(opts, murphy.WithIncrementalTraining(murphy.IncrementalTraining{}))
 	}
 	if *early > 0 {
 		opts = append(opts, murphy.WithEarlyStop(*early))

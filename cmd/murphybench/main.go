@@ -23,7 +23,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "comma-separated experiments: fig5c, fig5d, table1, fig6b, fig6c, table2, fig7, fig8a, fig8b, scaling, sensitivity, cycles, fastpath, obsoverhead, trainscale, accuracy, baselines, sweep, soak, all")
+		exp     = flag.String("exp", "all", "comma-separated experiments: fig5c, fig5d, table1, fig6b, fig6c, table2, fig7, fig8a, fig8b, scaling, sensitivity, cycles, fastpath, obsoverhead, trainscale, inctrain, accuracy, baselines, sweep, soak, all")
 		full    = flag.Bool("full", false, "use paper-scale parameters (slow)")
 		stats   = flag.Bool("stats", false, "print the accumulated per-stage timing and counter breakdown at exit")
 		trace   = flag.Bool("trace", false, "stream pipeline stage events to stderr as experiments run")
@@ -224,6 +224,35 @@ func main() {
 		}
 		fmt.Print(res)
 		report.TrainScale = trainScaleReport(res)
+	}
+	if run("inctrain") {
+		arms := []harness.IncTrainOptions{harness.DefaultIncTrainOptions()}
+		if *full {
+			arms[0].Steps = 520
+			arms[0].Slides = 100
+			arms[0].Samples = 2000
+			// Enterprise-scale arms: ~18 entities per app puts these replays
+			// near 1k and 10k candidate entities.
+			scale1k := harness.DefaultIncTrainOptions()
+			scale1k.Apps = 56
+			scale1k.Slides = 8
+			scale10k := harness.DefaultIncTrainOptions()
+			scale10k.Apps = 560
+			scale10k.Slides = 4
+			arms = append(arms, scale1k, scale10k)
+		}
+		for _, opts := range arms {
+			res, err := harness.RunIncTrain(opts)
+			if err != nil {
+				fail(err)
+			}
+			fmt.Print(res)
+			report.IncTrain = append(report.IncTrain, incTrainReport(res))
+			if !res.ToleranceOK || !res.CausesIdentical {
+				fail(fmt.Errorf("inctrain: incremental training diverged from full retrain (max delta %.2e, causes identical %v)",
+					res.MaxDelta, res.CausesIdentical))
+			}
+		}
 	}
 	if run("accuracy") {
 		cases := 8

@@ -22,6 +22,11 @@ type benchReport struct {
 	GoMaxProcs  int              `json:"gomaxprocs"`
 	FastPath    *fastPathJSON    `json:"fastpath,omitempty"`
 	TrainScale  []trainScaleJSON `json:"trainscale,omitempty"`
+	// IncTrain is the sliding-window incremental-training replay: steady-state
+	// train cost of full retrains vs slid sufficient statistics, with the
+	// factor-equivalence and identical-causes evidence. The base replay
+	// always runs; -full adds the enterprise-scale arms.
+	IncTrain []incTrainJSON `json:"inctrain,omitempty"`
 	// Accuracy is the fuzzed-suite diagnosis accuracy (the same numbers
 	// cmd/accguard pins against testdata/acc_baseline.json).
 	Accuracy *harness.AccuracyResult `json:"accuracy,omitempty"`
@@ -71,6 +76,27 @@ type trainScaleJSON struct {
 	BitIdentical      bool    `json:"bit_identical"`
 }
 
+// incTrainJSON summarizes one incremental-training replay arm.
+type incTrainJSON struct {
+	Apps            int     `json:"apps,omitempty"`
+	Entities        int     `json:"entities"`
+	Slides          int     `json:"slides"`
+	Factors         int     `json:"factors"`
+	FullMs          float64 `json:"full_ms"`
+	IncrementalMs   float64 `json:"incremental_ms"`
+	NsPerSlideFull  int64   `json:"ns_per_slide_full"`
+	NsPerSlideInc   int64   `json:"ns_per_slide_incremental"`
+	AnchorMs        float64 `json:"anchor_ms"`
+	Speedup         float64 `json:"speedup"`
+	MaxFactorDelta  float64 `json:"max_factor_delta"`
+	ToleranceOK     bool    `json:"tolerance_ok"`
+	CausesIdentical bool    `json:"causes_identical"`
+	Hits            uint64  `json:"hits"`
+	Refits          uint64  `json:"refits"`
+	Reselects       uint64  `json:"reselects"`
+	DriftTrips      uint64  `json:"drift_trips"`
+}
+
 func newBenchReport() *benchReport {
 	return &benchReport{
 		Schema:      1,
@@ -118,6 +144,31 @@ func trainScaleReport(r *harness.TrainScaleResult) []trainScaleJSON {
 			pt.NsPerDiagnose = (p.TrainTime + p.DiagTime).Nanoseconds() / int64(r.Opts.Scenarios)
 		}
 		out = append(out, pt)
+	}
+	return out
+}
+
+func incTrainReport(r *harness.IncTrainResult) incTrainJSON {
+	out := incTrainJSON{
+		Apps:            r.Opts.Apps,
+		Entities:        r.Entities,
+		Slides:          r.Opts.Slides,
+		Factors:         r.Factors,
+		FullMs:          float64(r.FullTime) / float64(time.Millisecond),
+		IncrementalMs:   float64(r.IncTime) / float64(time.Millisecond),
+		AnchorMs:        float64(r.AnchorTime) / float64(time.Millisecond),
+		Speedup:         r.Speedup,
+		MaxFactorDelta:  r.MaxDelta,
+		ToleranceOK:     r.ToleranceOK,
+		CausesIdentical: r.CausesIdentical,
+		Hits:            r.Hits,
+		Refits:          r.Refits,
+		Reselects:       r.Reselects,
+		DriftTrips:      r.DriftTrips,
+	}
+	if r.Opts.Slides > 0 {
+		out.NsPerSlideFull = r.FullTime.Nanoseconds() / int64(r.Opts.Slides)
+		out.NsPerSlideInc = r.IncTime.Nanoseconds() / int64(r.Opts.Slides)
 	}
 	return out
 }

@@ -10,6 +10,7 @@
 //	murphyd -listen :8080 -state /var/lib/murphyd/state.json
 //	murphyd -listen :8080 -snapshot db.json            # bootstrap telemetry
 //	murphyd -listen :8080 -queue 32 -workers 4 -detect-every 10s
+//	murphyd -listen :8080 -state state.json -inctrain  # amortized training
 //
 // Endpoints: POST /ingest, POST /diagnose, GET /reports, GET /healthz,
 // GET /readyz, GET /statusz, plus /metrics /stats /debug/vars (and
@@ -53,6 +54,8 @@ func main() {
 		snapEv   = flag.Duration("snapshot-every", 30*time.Second, "periodic state-snapshot cadence (needs -state)")
 		ingestN  = flag.Int("max-ingest", 4, "concurrently applied ingest batches; excess sheds with 429")
 		retries  = flag.Int("retries", 0, "retry attempts for transient telemetry read faults (0 = no retry layer)")
+		inctrain = flag.Bool("inctrain", false, "train incrementally: slide per-factor sufficient statistics as windows advance instead of retraining full windows; the factor store persists in the -state snapshot so warm restarts skip training")
+		driftTh  = flag.Float64("drift-threshold", 0, "MASE drift score above which an incrementally maintained factor is fully refit (0 = default 4.0; needs -inctrain)")
 		pprof    = flag.Bool("pprof", false, "expose /debug/pprof on the daemon mux")
 		// Chaos flags drive soak drills: they inject faults into the
 		// daemon's own telemetry read path so the degradation ladder is
@@ -116,6 +119,11 @@ func main() {
 	}
 	if res.Source != nil || res.Retry != nil {
 		sysOpts = append(sysOpts, murphy.WithResilience(res))
+	}
+	if *inctrain {
+		sysOpts = append(sysOpts, murphy.WithIncrementalTraining(murphy.IncrementalTraining{
+			DriftThreshold: *driftTh,
+		}))
 	}
 
 	srv, err := serve.New(db, serve.Config{

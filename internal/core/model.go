@@ -188,6 +188,12 @@ type TrainOpts struct {
 	// FactorCache). It is consulted only on the default-trainer, direct-read
 	// path; a custom Trainer or an interposed Src trains from scratch.
 	Cache *FactorCache
+	// Store, when non-nil, amortizes training across Train calls by sliding
+	// per-(entity, window, hyperparameters) sufficient statistics instead of
+	// recomputing every factor from scratch (see FactorStore). Like Cache it
+	// is only consulted on the default-trainer, direct-read path, and when
+	// both are set the store takes over (it subsumes whole-window reuse).
+	Store *FactorStore
 	// Obs receives pipeline instrumentation for this model (training spans
 	// and counters now, inference spans on every later Diagnose call). Nil
 	// falls back to obs.Global(), which is disabled by default.
@@ -273,6 +279,17 @@ func trainAt(ctx context.Context, db *telemetry.DB, g *graph.Graph, cfg Config, 
 	n := m.trainHi - m.trainLo
 	if n < 8 {
 		return nil, fmt.Errorf("core: training window too short (%d slices)", n)
+	}
+
+	// The incremental store, like the cache, is only sound on the default
+	// (deterministic, stateless) trainer and the direct (infallible) read
+	// path. When it is in play, the incremental pass replaces the whole
+	// from-scratch pipeline below.
+	if store := opts.Store; store != nil && opts.Trainer == nil && src == nil {
+		if err := store.train(ctx, m, opts, rec); err != nil {
+			return nil, err
+		}
+		return m, nil
 	}
 
 	// readRaw fetches one raw training window, through src when present.

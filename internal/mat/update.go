@@ -1,0 +1,132 @@
+// Rank-k update/downdate kernels for sliding-window Gram maintenance. As the
+// training window slides, the appended rows contribute X'X += Σ x·x' and the
+// expired rows X'X −= Σ x·x'; applying both as blocked corrections over the
+// few entering/leaving rows is O(k·B²) per slide instead of the O(n·B²) full
+// GramCols recomputation. The matching cross-term kernels maintain X'y.
+package mat
+
+import "fmt"
+
+// checkUpdateDims validates the update columns against the Gram matrix g:
+// one column per Gram dimension, all of equal length. A zero-length update
+// (no entering/leaving rows) is valid and a no-op.
+func checkUpdateDims(g *Dense, cols [][]float64) int {
+	k := len(cols)
+	r, c := g.Dims()
+	if r != c || r != k {
+		panic(fmt.Sprintf("mat: Gram update dimension mismatch: %dx%d Gram, %d columns", r, c, k))
+	}
+	if k == 0 {
+		return 0
+	}
+	n := len(cols[0])
+	for i, col := range cols {
+		if len(col) != n {
+			panic(fmt.Sprintf("mat: Gram update ragged column %d: len %d != %d", i, len(col), n))
+		}
+	}
+	return n
+}
+
+// GramColsUpdate applies the appended rows' contribution to the Gram matrix
+// in place: g += X'X of the entering rows, given as feature columns (cols[i]
+// holds feature i's entering values). Like GramCols it processes rows in
+// blocks, computes only j >= i, and mirrors, so a fresh Gram updated row
+// block by row block accumulates in the same order GramCols would.
+func GramColsUpdate(g *Dense, cols [][]float64) {
+	n := checkUpdateDims(g, cols)
+	k := len(cols)
+	for lo := 0; lo < n; lo += gramBlockRows {
+		hi := lo + gramBlockRows
+		if hi > n {
+			hi = n
+		}
+		for i := 0; i < k; i++ {
+			ci := cols[i][lo:hi]
+			gi := g.data[i*k:]
+			for j := i; j < k; j++ {
+				cj := cols[j][lo:hi]
+				s := gi[j]
+				for r, v := range ci {
+					s += v * cj[r]
+				}
+				gi[j] = s
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.data[j*k+i] = g.data[i*k+j]
+		}
+	}
+}
+
+// GramColsDowndate removes the expired rows' contribution from the Gram
+// matrix in place: g −= X'X of the leaving rows, given as feature columns.
+func GramColsDowndate(g *Dense, cols [][]float64) {
+	n := checkUpdateDims(g, cols)
+	k := len(cols)
+	for lo := 0; lo < n; lo += gramBlockRows {
+		hi := lo + gramBlockRows
+		if hi > n {
+			hi = n
+		}
+		for i := 0; i < k; i++ {
+			ci := cols[i][lo:hi]
+			gi := g.data[i*k:]
+			for j := i; j < k; j++ {
+				cj := cols[j][lo:hi]
+				s := gi[j]
+				for r, v := range ci {
+					s -= v * cj[r]
+				}
+				gi[j] = s
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.data[j*k+i] = g.data[i*k+j]
+		}
+	}
+}
+
+// checkCrossDims validates a cross-term update: one accumulator slot per
+// column, columns and rhs of equal length.
+func checkCrossDims(acc []float64, cols [][]float64, y []float64) {
+	if len(cols) != len(acc) {
+		panic(fmt.Sprintf("mat: cross update %d columns != %d accumulators", len(cols), len(acc)))
+	}
+	for i, c := range cols {
+		if len(c) != len(y) {
+			panic(fmt.Sprintf("mat: cross update column %d length %d != rhs %d", i, len(c), len(y)))
+		}
+	}
+}
+
+// CrossColsUpdate applies the appended rows' contribution to the cross-term
+// vector in place: acc[i] += cols[i]·y. It is the X'y twin of
+// GramColsUpdate.
+func CrossColsUpdate(acc []float64, cols [][]float64, y []float64) {
+	checkCrossDims(acc, cols, y)
+	for i, c := range cols {
+		s := acc[i]
+		for r, v := range c {
+			s += v * y[r]
+		}
+		acc[i] = s
+	}
+}
+
+// CrossColsDowndate removes the expired rows' contribution from the
+// cross-term vector in place: acc[i] −= cols[i]·y.
+func CrossColsDowndate(acc []float64, cols [][]float64, y []float64) {
+	checkCrossDims(acc, cols, y)
+	for i, c := range cols {
+		s := acc[i]
+		for r, v := range c {
+			s -= v * y[r]
+		}
+		acc[i] = s
+	}
+}

@@ -1,0 +1,172 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randCols(rng *rand.Rand, k, n int, scale float64) [][]float64 {
+	cols := make([][]float64, k)
+	for i := range cols {
+		cols[i] = make([]float64, n)
+		for j := range cols[i] {
+			cols[i][j] = scale * rng.NormFloat64()
+		}
+	}
+	return cols
+}
+
+func subCols(cols [][]float64, lo, hi int) [][]float64 {
+	out := make([][]float64, len(cols))
+	for i, c := range cols {
+		out[i] = c[lo:hi]
+	}
+	return out
+}
+
+func maxAbsDiff(a, b *Dense) float64 {
+	ra, ca := a.Dims()
+	m := 0.0
+	for i := 0; i < ra; i++ {
+		for j := 0; j < ca; j++ {
+			if d := math.Abs(a.At(i, j) - b.At(i, j)); d > m {
+				m = d
+			}
+		}
+	}
+	return m
+}
+
+// TestGramColsUpdateFromZero checks the update kernel accumulates exactly
+// like GramCols when fed the whole data: starting from a zero Gram and
+// applying one update over all rows must be bit-identical (same blocked
+// order, same mirroring).
+func TestGramColsUpdateFromZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 7, 255, 256, 257, 700} {
+		cols := randCols(rng, 5, n, 1)
+		want := GramCols(cols)
+		got := NewDense(5, 5)
+		GramColsUpdate(got, cols)
+		if d := maxAbsDiff(got, want); d != 0 {
+			t.Fatalf("n=%d: update-from-zero differs from GramCols by %v", n, d)
+		}
+	}
+}
+
+// TestGramSlideMatchesRecompute slides a window across a long stream via
+// update/downdate and compares against the freshly recomputed Gram at every
+// step. The tolerance is a rounding bound, not bit-identity: the slid Gram
+// accumulates in a different order.
+func TestGramSlideMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	k, n, steps := 6, 120, 200
+	stream := randCols(rng, k, n+steps, 3)
+	g := GramCols(subCols(stream, 0, n))
+	for s := 0; s < steps; s++ {
+		GramColsUpdate(g, subCols(stream, n+s, n+s+1))
+		GramColsDowndate(g, subCols(stream, s, s+1))
+		fresh := GramCols(subCols(stream, s+1, n+s+1))
+		// Error bound: each slide adds O(ε)·magnitudes; scale by the largest
+		// diagonal (the natural magnitude of Gram entries).
+		scale := 1.0
+		for i := 0; i < k; i++ {
+			if v := fresh.At(i, i); v > scale {
+				scale = v
+			}
+		}
+		if d := maxAbsDiff(g, fresh); d > 1e-10*scale*float64(s+1) {
+			t.Fatalf("step %d: slid Gram differs from recompute by %v (scale %v)", s, d, scale)
+		}
+	}
+}
+
+// TestGramUpdateDowndateRoundTrip applies a block update then downdates the
+// same block: the result must match the original within rounding.
+func TestGramUpdateDowndateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cols := randCols(rng, 4, 300, 2)
+	g := GramCols(cols)
+	orig := g.Clone()
+	blk := randCols(rng, 4, 17, 2)
+	GramColsUpdate(g, blk)
+	GramColsDowndate(g, blk)
+	if d := maxAbsDiff(g, orig); d > 1e-9 {
+		t.Fatalf("update+downdate round trip drifted by %v", d)
+	}
+}
+
+// TestGramUpdateSymmetry checks the mirrored lower triangle stays exactly
+// equal to the upper after updates and downdates.
+func TestGramUpdateSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := GramCols(randCols(rng, 5, 64, 1))
+	GramColsUpdate(g, randCols(rng, 5, 3, 1))
+	GramColsDowndate(g, randCols(rng, 5, 2, 1))
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if g.At(i, j) != g.At(j, i) {
+				t.Fatalf("asymmetry at (%d,%d): %v != %v", i, j, g.At(i, j), g.At(j, i))
+			}
+		}
+	}
+}
+
+func TestGramUpdateEmptyBlockNoOp(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := GramCols(randCols(rng, 3, 32, 1))
+	orig := g.Clone()
+	GramColsUpdate(g, [][]float64{{}, {}, {}})
+	GramColsDowndate(g, [][]float64{{}, {}, {}})
+	if d := maxAbsDiff(g, orig); d != 0 {
+		t.Fatalf("empty update changed the Gram by %v", d)
+	}
+}
+
+func TestGramUpdateDimsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on column-count mismatch")
+		}
+	}()
+	GramColsUpdate(NewDense(3, 3), [][]float64{{1}, {2}})
+}
+
+func TestCrossColsSlideMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	k, n, steps := 5, 100, 150
+	stream := randCols(rng, k, n+steps, 2)
+	ys := make([]float64, n+steps)
+	for i := range ys {
+		ys[i] = rng.NormFloat64() * 4
+	}
+	acc := MulVecCols(subCols(stream, 0, n), ys[:n])
+	for s := 0; s < steps; s++ {
+		CrossColsUpdate(acc, subCols(stream, n+s, n+s+1), ys[n+s:n+s+1])
+		CrossColsDowndate(acc, subCols(stream, s, s+1), ys[s:s+1])
+		fresh := MulVecCols(subCols(stream, s+1, n+s+1), ys[s+1:n+s+1])
+		for i := range acc {
+			if d := math.Abs(acc[i] - fresh[i]); d > 1e-9*(1+math.Abs(fresh[i]))*float64(s+1) {
+				t.Fatalf("step %d col %d: slid cross %v vs recompute %v", s, i, acc[i], fresh[i])
+			}
+		}
+	}
+}
+
+func TestCrossColsUpdateFromZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cols := randCols(rng, 4, 333, 1)
+	ys := make([]float64, 333)
+	for i := range ys {
+		ys[i] = rng.NormFloat64()
+	}
+	want := MulVecCols(cols, ys)
+	got := make([]float64, 4)
+	CrossColsUpdate(got, cols, ys)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("col %d: %v != MulVecCols %v", i, got[i], want[i])
+		}
+	}
+}

@@ -23,6 +23,9 @@ type Options struct {
 	Chains int
 	// Workers is the training worker pool size (0/1 = serial).
 	Workers int
+	// Store trains through a fresh incremental factor store (the anchoring
+	// pass, which promises bit-identical factors to a full retrain).
+	Store bool
 	// Precision selects the sampling kernel width (the zero value is the
 	// bit-stable float64 reference; PrecisionFloat32 is the fast path).
 	Precision core.Precision
@@ -61,6 +64,9 @@ func Diagnose(c *Case, opt Options) (*core.Diagnosis, error) {
 	topts := core.TrainOpts{Now: -1, Workers: opt.Workers}
 	if opt.Cache {
 		topts.Cache = core.NewFactorCache(4)
+	}
+	if opt.Store {
+		topts.Store = core.NewFactorStore()
 	}
 	model, err := core.TrainOpt(context.Background(), c.DB, g, cfg, topts)
 	if err != nil {
@@ -278,7 +284,9 @@ func hitTopK(d *core.Diagnosis, accept map[telemetry.EntityID]bool, k int) bool 
 
 // FastPathGrid enumerates every fast-path configuration the cross-check
 // compares against the reference serial path: cache × early-stop × chains ×
-// train workers × kernel precision.
+// train workers × kernel precision, plus the incremental-store training arm
+// (serial and pooled — both anchor bit-identically, so a full cross product
+// with the sampling axes would only re-test the sampling paths).
 func FastPathGrid() []Options {
 	var grid []Options
 	for _, cache := range []bool{false, true} {
@@ -292,6 +300,10 @@ func FastPathGrid() []Options {
 			}
 		}
 	}
+	grid = append(grid,
+		Options{Store: true},
+		Options{Store: true, Workers: 4},
+		Options{Store: true, Cache: true}) // store supersedes cache
 	return grid
 }
 
@@ -315,11 +327,11 @@ func CheckCrossConfigs(c *Case) error {
 		return caseErr(c, "reference", err)
 	}
 	for _, opt := range FastPathGrid() {
-		if !opt.Cache && !opt.EarlyStop && opt.Chains <= 1 && opt.Workers <= 1 && opt.Precision == core.PrecisionFloat64 {
+		if !opt.Cache && !opt.EarlyStop && opt.Chains <= 1 && opt.Workers <= 1 && opt.Precision == core.PrecisionFloat64 && !opt.Store {
 			continue // the reference itself
 		}
 		opt.Samples = crossCheckSamples
-		label := fmt.Sprintf("config{cache=%v earlystop=%v chains=%d workers=%d prec=%s}", opt.Cache, opt.EarlyStop, opt.Chains, opt.Workers, opt.Precision)
+		label := fmt.Sprintf("config{cache=%v earlystop=%v chains=%d workers=%d prec=%s store=%v}", opt.Cache, opt.EarlyStop, opt.Chains, opt.Workers, opt.Precision, opt.Store)
 		got, err := Diagnose(c, opt)
 		if err != nil {
 			return caseErr(c, label, err)
@@ -337,6 +349,129 @@ func CheckCrossConfigs(c *Case) error {
 		if err != nil {
 			return caseErr(c, label, err)
 		}
+	}
+	return nil
+}
+
+// incSlideBack is how many slices the incremental-slide check anchors behind
+// the newest slice before sliding forward, and incSlideTol the per-parameter
+// relative rounding bound the slid factors must stay within. The incremental
+// path accumulates one rank-1 update and downdate per slide on the Gram and
+// cross-term statistics; each is O(n·eps) relative rounding error, so a
+// handful of slides stays ~1e-12 and 1e-6 is a generous certified bound.
+const (
+	incSlideBack = 6
+	incSlideTol  = 1e-6
+)
+
+// CheckIncrementalSlide verifies the incremental trainer's sliding contract
+// on one case: a store anchored incSlideBack slices in the past and slid
+// forward one slice at a time must arrive at factors within incSlideTol of a
+// from-scratch retrain at the final slice — with identically selected
+// features — and the resulting diagnosis must certify the same decisive
+// causes. (The fresh-store bit-identity contract is covered by the
+// cross-config grid's store arms.)
+func CheckIncrementalSlide(c *Case) error {
+	cfg := BaseConfig()
+	g, err := graph.Build(c.DB, []telemetry.EntityID{c.Symptom.Entity}, -1)
+	if err != nil {
+		return caseErr(c, "inc-slide", err)
+	}
+	ctx := context.Background()
+	store := core.NewFactorStore()
+	last := c.DB.Len() - 1
+	var incModel *core.Model
+	for t := last - incSlideBack; t <= last; t++ {
+		incModel, err = core.TrainOpt(ctx, c.DB, g, cfg, core.TrainOpts{Now: t, Store: store})
+		if err != nil {
+			return caseErr(c, "inc-slide", err)
+		}
+	}
+	fullModel, err := core.TrainOpt(ctx, c.DB, g, cfg, core.TrainOpts{Now: last})
+	if err != nil {
+		return caseErr(c, "inc-slide", err)
+	}
+	for _, id := range c.DB.Entities() {
+		for _, metric := range c.DB.MetricNames(id) {
+			fv, fok := fullModel.FactorView(id, metric)
+			iv, iok := incModel.FactorView(id, metric)
+			if fok != iok {
+				return caseErr(c, "inc-slide", fmt.Errorf("factor %s/%s trained on one path only (full=%v inc=%v)", id, metric, fok, iok))
+			}
+			if !fok {
+				continue
+			}
+			if err := factorWithin(fv, iv, incSlideTol); err != nil {
+				return caseErr(c, "inc-slide", fmt.Errorf("factor %s/%s: %w", id, metric, err))
+			}
+		}
+	}
+	fullDiag, err := fullModel.Diagnose(c.Symptom)
+	if err != nil {
+		return caseErr(c, "inc-slide", err)
+	}
+	incDiag, err := incModel.Diagnose(c.Symptom)
+	if err != nil {
+		return caseErr(c, "inc-slide", err)
+	}
+	if err := agreeCertified(fullDiag, incDiag); err != nil {
+		return caseErr(c, "inc-slide", err)
+	}
+	return nil
+}
+
+// factorWithin checks that two factor views selected the same features and
+// agree on every learned parameter within the relative tolerance.
+func factorWithin(want, got core.FactorView, tol float64) error {
+	if len(want.Features) != len(got.Features) {
+		return fmt.Errorf("selected %d features, full retrain selected %d", len(got.Features), len(want.Features))
+	}
+	for i := range want.Features {
+		if want.Features[i] != got.Features[i] {
+			return fmt.Errorf("feature %d is %s, full retrain selected %s", i, got.Features[i], want.Features[i])
+		}
+	}
+	check := func(name string, a, b float64) error {
+		if math.IsNaN(a) && math.IsNaN(b) {
+			return nil
+		}
+		scale := math.Abs(a)
+		if scale < 1 {
+			scale = 1
+		}
+		if math.Abs(a-b) > tol*scale {
+			return fmt.Errorf("%s = %v, full retrain got %v (tolerance %.0e)", name, b, a, tol)
+		}
+		return nil
+	}
+	if err := check("intercept", want.Intercept, got.Intercept); err != nil {
+		return err
+	}
+	if err := check("residual-std", want.ResidualStd, got.ResidualStd); err != nil {
+		return err
+	}
+	for i := range want.Coef {
+		if err := check(fmt.Sprintf("coef[%d]", i), want.Coef[i], got.Coef[i]); err != nil {
+			return err
+		}
+		if err := check(fmt.Sprintf("feat-mean[%d]", i), want.FeatMean[i], got.FeatMean[i]); err != nil {
+			return err
+		}
+		if err := check(fmt.Sprintf("feat-std[%d]", i), want.FeatStd[i], got.FeatStd[i]); err != nil {
+			return err
+		}
+	}
+	for _, p := range [][3]any{
+		{"hmean", want.HMean, got.HMean}, {"hstd", want.HStd, got.HStd},
+		{"median", want.Med, got.Med}, {"mad-scale", want.MADScale, got.MADScale},
+		{"rscore", want.RScore, got.RScore},
+	} {
+		if err := check(p[0].(string), p[1].(float64), p[2].(float64)); err != nil {
+			return err
+		}
+	}
+	if want.Novel != got.Novel {
+		return fmt.Errorf("novel = %v, full retrain got %v", got.Novel, want.Novel)
 	}
 	return nil
 }

@@ -114,6 +114,29 @@ func TestMetamorphCrossConfigs(t *testing.T) {
 	}
 }
 
+// TestMetamorphIncrementalSlide fuzzes scenarios per family and checks the
+// incremental trainer's sliding contract: a factor store slid one slice at a
+// time must arrive within the certified rounding bound of a from-scratch
+// retrain, with the same selected features and the same decisive causes.
+func TestMetamorphIncrementalSlide(t *testing.T) {
+	n := casesPerFamily(t, 2)
+	for _, fam := range Families {
+		fam := fam
+		t.Run(fam, func(t *testing.T) {
+			t.Parallel()
+			for i := 0; i < n; i++ {
+				c, err := Generate(fam, i, fixedBase)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := CheckIncrementalSlide(c); err != nil {
+					t.Fatalf("incremental slide diverged: %v (replay: Generate(%q, %d, %d))", err, fam, i, fixedBase)
+				}
+			}
+		})
+	}
+}
+
 // TestMetamorphTruthFound sanity-checks the fuzzer itself: on a sample of
 // cases per family, the reference diagnosis should rank an acceptable
 // entity in its top 5 most of the time — a fuzzer whose ground truth the

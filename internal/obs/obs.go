@@ -123,6 +123,19 @@ const (
 	// snapshots persisted and restored by the serve layer.
 	CtrSnapshotsWritten
 	CtrSnapshotsRecovered
+	// CtrIncTrainHits counts factors served from slid sufficient statistics
+	// by the incremental trainer; CtrIncTrainRefits counts factors that fell
+	// back to a full refit (initial anchors, selection changes, conditioning
+	// or drift guards); CtrIncTrainDriftTrips counts the subset of refits
+	// forced by the MASE drift score; CtrIncTrainReselects counts the subset
+	// of hits that re-ranked features exactly and adopted a changed
+	// selection in place (Gram rebuild, no full refit); CtrIncTrainSlides
+	// counts window slides applied to the factor store's statistics.
+	CtrIncTrainHits
+	CtrIncTrainRefits
+	CtrIncTrainDriftTrips
+	CtrIncTrainReselects
+	CtrIncTrainSlides
 	numCounters
 )
 
@@ -154,6 +167,11 @@ var counterNames = [numCounters]string{
 	"watchdog_cancels",
 	"snapshots_written",
 	"snapshots_recovered",
+	"inctrain_hits",
+	"inctrain_refits",
+	"inctrain_drift_trips",
+	"inctrain_reselects",
+	"inctrain_slides",
 }
 
 // Name returns the stable snake_case counter name.

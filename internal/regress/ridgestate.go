@@ -1,0 +1,62 @@
+// Ridge state export/restore: the incremental trainer solves the ridge system
+// from slid sufficient statistics and needs to materialize a fitted Ridge
+// without a Fit call, and the persistent factor store needs to serialize a
+// fitted Ridge across process restarts. RidgeState is that complete learned
+// state; round-tripping through it preserves Predict/ResidualStd/LinearTerms
+// bit for bit.
+package regress
+
+// RidgeState is the complete learned state of a fitted Ridge model.
+type RidgeState struct {
+	Lambda    float64   `json:"lambda"`
+	Coef      []float64 `json:"coef,omitempty"`
+	FeatMean  []float64 `json:"feat_mean,omitempty"`
+	FeatStd   []float64 `json:"feat_std,omitempty"`
+	Intercept float64   `json:"intercept"`
+	Resid     float64   `json:"resid"`
+	Fitted    bool      `json:"fitted"`
+}
+
+// State exports the model's learned state (slices are copied).
+func (r *Ridge) State() RidgeState {
+	cp := func(xs []float64) []float64 {
+		if xs == nil {
+			return nil
+		}
+		out := make([]float64, len(xs))
+		copy(out, xs)
+		return out
+	}
+	return RidgeState{
+		Lambda:    r.Lambda,
+		Coef:      cp(r.coef),
+		FeatMean:  cp(r.featMean),
+		FeatStd:   cp(r.featStd),
+		Intercept: r.intercept,
+		Resid:     r.resid,
+		Fitted:    r.fitted,
+	}
+}
+
+// NewRidgeFromState materializes a Ridge from an exported state (slices are
+// copied). The result predicts identically to the model that produced the
+// state.
+func NewRidgeFromState(st RidgeState) *Ridge {
+	cp := func(xs []float64) []float64 {
+		if xs == nil {
+			return nil
+		}
+		out := make([]float64, len(xs))
+		copy(out, xs)
+		return out
+	}
+	return &Ridge{
+		Lambda:    st.Lambda,
+		coef:      cp(st.Coef),
+		featMean:  cp(st.FeatMean),
+		featStd:   cp(st.FeatStd),
+		intercept: st.Intercept,
+		resid:     st.Resid,
+		fitted:    st.Fitted,
+	}
+}

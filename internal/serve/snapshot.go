@@ -23,9 +23,10 @@ type quarantineEntry struct {
 }
 
 // daemonSnapshot is the crash-safe on-disk state: the monitoring database
-// (embedded in its own snapshot format), the report ring, and the
-// quarantine list — everything a restarted daemon needs to resume serving
-// correct diagnoses for pre-crash symptoms.
+// (embedded in its own snapshot format), the report ring, the quarantine
+// list, and — when the system trains incrementally — the factor store's
+// sufficient statistics, so a restarted daemon resumes serving correct
+// diagnoses for pre-crash symptoms without retraining a single factor.
 type daemonSnapshot struct {
 	Version    int               `json:"version"`
 	SavedAt    time.Time         `json:"saved_at"`
@@ -33,6 +34,11 @@ type daemonSnapshot struct {
 	DB         json.RawMessage   `json:"db"`
 	Reports    []*ReportRecord   `json:"reports,omitempty"`
 	Quarantine []quarantineEntry `json:"quarantine,omitempty"`
+	// FactorStore is the incremental trainer's serialized state (absent when
+	// the daemon trains full windows). It is self-validating on adoption: a
+	// restored store that disagrees with the restored database degrades to a
+	// cold start, never to wrong factors.
+	FactorStore json.RawMessage `json:"factor_store,omitempty"`
 }
 
 // markDirty notes that state changed since the last snapshot, so the
@@ -54,6 +60,14 @@ func (s *Server) WriteSnapshot() error {
 	if err := s.db.WriteJSON(&dbBuf); err != nil {
 		return fmt.Errorf("serve: snapshot db: %w", err)
 	}
+	var storeBuf []byte
+	if fs := s.sys.FactorStore(); fs != nil {
+		data, err := fs.Snapshot()
+		if err != nil {
+			return fmt.Errorf("serve: snapshot factor store: %w", err)
+		}
+		storeBuf = data
+	}
 	s.mu.Lock()
 	snap := daemonSnapshot{
 		Version: snapshotVersion,
@@ -62,6 +76,7 @@ func (s *Server) WriteSnapshot() error {
 		DB:      json.RawMessage(dbBuf.Bytes()),
 		Reports: append([]*ReportRecord(nil), s.reports...),
 	}
+	snap.FactorStore = storeBuf
 	for sym, until := range s.quarantine {
 		snap.Quarantine = append(snap.Quarantine, quarantineEntry{Symptom: sym, Until: until})
 	}
@@ -123,8 +138,9 @@ func LoadSnapshot(path string) (*daemonSnapshot, *telemetry.DB, error) {
 }
 
 // Recover restores a daemon's serving state (report ring, sequence counter,
-// unexpired quarantine) from a snapshot previously read by LoadSnapshot.
-// Call it after New, before Start.
+// unexpired quarantine, and — when the system trains incrementally — the
+// factor store's staged statistics) from a snapshot previously read by
+// LoadSnapshot. Call it after New, before Start.
 func (s *Server) Recover(snap *daemonSnapshot) {
 	if snap == nil {
 		return
@@ -142,6 +158,15 @@ func (s *Server) Recover(snap *daemonSnapshot) {
 		}
 	}
 	s.mu.Unlock()
+	if len(snap.FactorStore) > 0 {
+		if fs := s.sys.FactorStore(); fs != nil {
+			// Stage the persisted sufficient statistics; the first training
+			// pass validates them against the recovered database and either
+			// warm-starts (zero full retrains) or silently falls back to a
+			// cold anchoring pass. A decode failure takes the same fallback.
+			_ = fs.RestoreSnapshot(snap.FactorStore)
+		}
+	}
 	s.rec.Add(obs.CtrSnapshotsRecovered, 1)
 }
 

@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWindowMomentsMatchesCenter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 120
+	data := make([]float64, 0, n+500)
+	for i := 0; i < n+500; i++ {
+		data = append(data, 50+10*rng.NormFloat64())
+	}
+	var m WindowMoments
+	m.Anchor(data[:n])
+	for hi := n; hi < len(data); hi++ {
+		m.Push(data[hi])
+		m.Pop(data[hi-n])
+		win := data[hi-n+1 : hi+1]
+		ctr := Center(win)
+		if got, want := m.Mean(), ctr.Mean; math.Abs(got-want) > 1e-9*math.Abs(want) {
+			t.Fatalf("slide %d: mean %v want %v", hi, got, want)
+		}
+		if got, want := m.CenteredSumSq(), ctr.SumSq; math.Abs(got-want) > 1e-6*want {
+			t.Fatalf("slide %d: CSS %v want %v", hi, got, want)
+		}
+	}
+}
+
+// TestWindowMomentsRecenterExact checks the recenter correction is the
+// identity on the derived statistics: mean and centered sum of squares are
+// unchanged (up to the rounding the correction itself removes), and S1 is
+// exactly zero afterwards.
+func TestWindowMomentsRecenterExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var m WindowMoments
+	xs := make([]float64, 64)
+	for i := range xs {
+		xs[i] = 1e6 + rng.NormFloat64()
+	}
+	m.Anchor(xs)
+	// Slide far from the anchor so S1 accumulates.
+	for i := 0; i < 64; i++ {
+		m.Push(2e6 + rng.NormFloat64())
+		m.Pop(xs[i])
+	}
+	meanBefore, cssBefore := m.Mean(), m.CenteredSumSq()
+	d := m.Recenter()
+	if m.S1 != 0 {
+		t.Fatalf("S1 after recenter = %v, want exactly 0", m.S1)
+	}
+	if math.Abs(m.Mean()-meanBefore) > 1e-9*math.Abs(meanBefore) {
+		t.Fatalf("mean changed by recenter: %v -> %v", meanBefore, m.Mean())
+	}
+	if math.Abs(m.CenteredSumSq()-cssBefore) > 1e-6*cssBefore+1e-9 {
+		t.Fatalf("CSS changed by recenter: %v -> %v", cssBefore, m.CenteredSumSq())
+	}
+	if d == 0 {
+		t.Fatalf("expected a non-zero recenter delta after a 1e6 level shift")
+	}
+}
+
+// TestWindowMomentsShiftedBeatsRaw demonstrates why the sums are kept
+// shifted: at mean≫σ the shifted CSS stays accurate where the raw
+// Σx²−n·mean² form loses most of its digits.
+func TestWindowMomentsShiftedBeatsRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 256)
+	var rawS1, rawS2 float64
+	for i := range xs {
+		xs[i] = 1e9 + rng.NormFloat64()
+		rawS1 += xs[i]
+		rawS2 += xs[i] * xs[i]
+	}
+	var m WindowMoments
+	m.Anchor(xs)
+	want := Center(xs).SumSq
+	rawCSS := rawS2 - rawS1*rawS1/float64(len(xs))
+	shiftErr := math.Abs(m.CenteredSumSq()-want) / want
+	rawErr := math.Abs(rawCSS-want) / want
+	if shiftErr > 1e-10 {
+		t.Fatalf("shifted CSS relative error %v, want < 1e-10", shiftErr)
+	}
+	if rawErr < 10*shiftErr {
+		t.Fatalf("expected raw accumulation to be much worse: raw %v shifted %v", rawErr, shiftErr)
+	}
+}
+
+func TestSortedWindowMedianMADBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{1, 2, 3, 8, 63, 64, 301} {
+		xs := make([]float64, n)
+		for i := range xs {
+			// Quantized values so duplicates occur.
+			xs[i] = math.Round(rng.NormFloat64()*8) / 4
+		}
+		w := NewSortedWindow(xs)
+		if got, want := w.Median(), Median(xs); got != want {
+			t.Fatalf("n=%d: Median %v != stats.Median %v", n, got, want)
+		}
+		if got, want := w.MAD(), MAD(xs); got != want {
+			t.Fatalf("n=%d: MAD %v != stats.MAD %v", n, got, want)
+		}
+	}
+}
+
+func TestSortedWindowSlideBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 97
+	data := make([]float64, n+300)
+	for i := range data {
+		data[i] = math.Round(100*rng.NormFloat64()) / 10
+	}
+	w := NewSortedWindow(data[:n])
+	for hi := n; hi < len(data); hi++ {
+		w.Insert(data[hi])
+		w.Remove(data[hi-n])
+		win := data[hi-n+1 : hi+1]
+		if got, want := w.Median(), Median(win); got != want {
+			t.Fatalf("slide %d: Median %v != %v", hi, got, want)
+		}
+		if got, want := w.MAD(), MAD(win); got != want {
+			t.Fatalf("slide %d: MAD %v != %v", hi, got, want)
+		}
+	}
+}
+
+func TestSortedWindowRemoveAbsentPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic on removing an absent value")
+		}
+	}()
+	NewSortedWindow([]float64{1, 2, 3}).Remove(4)
+}
+
+func TestDriftTrackerScore(t *testing.T) {
+	train := []float64{1, 2, 1, 2, 1, 2, 1, 2, 1, 2}
+	d := NewDriftTracker(16)
+	if s := d.Score(train, 8); s != 0 {
+		t.Fatalf("empty tracker score = %v, want 0", s)
+	}
+	// Perfect predictions: MASE 0.
+	for i := 0; i < 10; i++ {
+		d.Push(5, 5)
+	}
+	if s := d.Score(train, 8); s != 0 {
+		t.Fatalf("perfect predictions score = %v, want 0", s)
+	}
+	// Far-off predictions: the naive error of train is 1, so MASE = |err|.
+	d.Reset()
+	for i := 0; i < 10; i++ {
+		d.Push(0, 8)
+	}
+	if s := d.Score(train, 8); math.Abs(s-8) > 1e-12 {
+		t.Fatalf("off predictions score = %v, want 8", s)
+	}
+	// Below the evidence floor the score stays 0.
+	d.Reset()
+	d.Push(0, 8)
+	if s := d.Score(train, 8); s != 0 {
+		t.Fatalf("under-evidence score = %v, want 0", s)
+	}
+}
+
+func TestDriftTrackerRing(t *testing.T) {
+	d := NewDriftTracker(4)
+	for i := 0; i < 7; i++ {
+		d.Push(float64(i), float64(i)+100)
+	}
+	preds, actuals := d.Pairs()
+	if len(preds) != 4 || len(actuals) != 4 {
+		t.Fatalf("ring kept %d pairs, want 4", len(preds))
+	}
+	for i, p := range preds {
+		if want := float64(3 + i); p != want || actuals[i] != want+100 {
+			t.Fatalf("pair %d = (%v,%v), want (%v,%v)", i, p, actuals[i], want, want+100)
+		}
+	}
+}

@@ -80,6 +80,10 @@ type System struct {
 	// cache, when set, carries trained factors across the Diagnose calls of
 	// this System (and any other System sharing the cache).
 	cache *core.FactorCache
+	// incStore, when set, amortizes training by sliding per-factor
+	// sufficient statistics across Diagnose calls (WithIncrementalTraining).
+	// It subsumes cache when both are configured.
+	incStore *core.FactorStore
 	// rec is the session's instrumentation recorder. Always non-nil;
 	// disabled unless WithObserver/WithStats (or EnableStats) turned it on.
 	rec *obs.Recorder
@@ -256,7 +260,7 @@ func (s *System) DiagnoseBatch(ctx context.Context, symptoms []telemetry.Symptom
 
 // train fits the MRF through the configured read path.
 func (s *System) train(ctx context.Context) (*core.Model, error) {
-	opts := core.TrainOpts{Now: -1, Cache: s.cache, Obs: s.rec, Workers: s.trainWorkers}
+	opts := core.TrainOpts{Now: -1, Cache: s.cache, Store: s.incStore, Obs: s.rec, Workers: s.trainWorkers}
 	if opts.Workers == 0 {
 		// Unset: a session that fans inference out across workers gets the
 		// same fan-out for its training fits.
@@ -316,6 +320,25 @@ func (s *System) FactorCacheStats() (stats FactorCacheStats, ok bool) {
 		return FactorCacheStats{}, false
 	}
 	return s.cache.Stats(), true
+}
+
+// FactorStoreStats reports the incremental trainer's hit/refit/drift
+// counters. ok is false when incremental training is not configured
+// (WithIncrementalTraining unused), distinguishing "disabled" from a
+// configured store that has absorbed no traffic yet.
+func (s *System) FactorStoreStats() (stats FactorStoreStats, ok bool) {
+	if s.incStore == nil {
+		return FactorStoreStats{}, false
+	}
+	return s.incStore.Stats(), true
+}
+
+// FactorStore returns the session's incremental factor store, or nil when
+// incremental training is not configured. Daemons use the handle to
+// snapshot the store into their crash-safe checkpoints and restore it on
+// warm restart.
+func (s *System) FactorStore() *FactorStore {
+	return s.incStore
 }
 
 // SourceStats reports what the resilient read layer absorbed so far. ok is
