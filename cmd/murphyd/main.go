@@ -12,9 +12,15 @@
 //	murphyd -listen :8080 -queue 32 -workers 4 -detect-every 10s
 //	murphyd -listen :8080 -state state.json -inctrain  # amortized training
 //
-// Endpoints: POST /ingest, POST /diagnose, GET /reports, GET /healthz,
-// GET /readyz, GET /statusz, plus /metrics /stats /debug/vars (and
-// /debug/pprof with -pprof).
+// Endpoints: POST /ingest, POST /diagnose, GET /reports, GET /topology,
+// GET /entities/{ref}/performance, GET /healthz, GET /readyz, GET /statusz,
+// plus /metrics /stats /debug/vars (and /debug/pprof with -pprof).
+//
+// With -reportdir, completed diagnosis reports are additionally persisted to
+// an append-only, crash-safe segment file before they are acknowledged, and
+// GET /reports searches the persisted store (by entity, app, cause, source,
+// and time range, with cursor pagination) instead of the bounded in-memory
+// ring; -report-retention caps how many reports the store keeps.
 //
 // On SIGINT/SIGTERM the daemon drains gracefully: readiness flips off, new
 // work is shed with 503, queued and in-flight diagnoses finish (bounded by
@@ -53,6 +59,9 @@ func main() {
 		detect   = flag.Duration("detect-every", 15*time.Second, "continuous symptom-detector cadence (0 disables the detector)")
 		snapEv   = flag.Duration("snapshot-every", 30*time.Second, "periodic state-snapshot cadence (needs -state)")
 		ingestN  = flag.Int("max-ingest", 4, "concurrently applied ingest batches; excess sheds with 429")
+		readsN   = flag.Int("max-reads", 16, "concurrently served operator queries (/topology, /entities, /reports); excess sheds with 429")
+		repDir   = flag.String("reportdir", "", "directory for the persisted report store: completed diagnoses are appended crash-safely and GET /reports searches them across restarts (\"\" keeps the in-memory ring only)")
+		repKeep  = flag.Int("report-retention", 10000, "reports retained in the persisted store before compaction drops the oldest (needs -reportdir)")
 		retries  = flag.Int("retries", 0, "retry attempts for transient telemetry read faults (0 = no retry layer)")
 		inctrain = flag.Bool("inctrain", false, "train incrementally: slide per-factor sufficient statistics as windows advance instead of retraining full windows; the factor store persists in the -state snapshot so warm restarts skip training")
 		driftTh  = flag.Float64("drift-threshold", 0, "MASE drift score above which an incrementally maintained factor is fully refit (0 = default 4.0; needs -inctrain)")
@@ -130,6 +139,9 @@ func main() {
 		QueueCap:            *queueCap,
 		Workers:             *workers,
 		MaxConcurrentIngest: *ingestN,
+		MaxConcurrentReads:  *readsN,
+		ReportDir:           *repDir,
+		ReportRetention:     *repKeep,
 		DefaultDeadline:     *deadline,
 		WatchdogTimeout:     *watchdog,
 		DetectEvery:         *detect,

@@ -37,33 +37,44 @@ type ScoredSymptom struct {
 	Z float64 // signed z-score of the current value vs history
 }
 
-// ScanEntity returns the problematic symptoms of one entity at slice now.
-func (d *Detector) ScanEntity(db *telemetry.DB, id telemetry.EntityID, now int) []ScoredSymptom {
-	var out []ScoredSymptom
+// Score returns the signed z-score of (id, metric)'s value at slice now
+// against the trailing-history baseline, regardless of ZThreshold — the query
+// surface reports the score for healthy metrics too. ok is false when nothing
+// is observed at now or the baseline has fewer than MinHistory points.
+func (d *Detector) Score(db *telemetry.DB, id telemetry.EntityID, metric string, now int) (z float64, ok bool) {
 	lo := now - d.HistoryWindow
 	if lo < 0 {
 		lo = 0
 	}
+	// Read through the copying DB accessors (At/RawWindow), not the shared
+	// Series pointer: the always-on daemon scores metrics while its ingest
+	// goroutine appends, and only the DB methods synchronize with the append
+	// path.
+	cur := db.At(id, metric, now)
+	if cur != cur { // NaN: nothing observed now
+		return 0, false
+	}
+	hist := db.RawWindow(id, metric, lo, now)
+	clean := hist[:0]
+	for _, v := range hist {
+		if v == v {
+			clean = append(clean, v)
+		}
+	}
+	if len(clean) < d.MinHistory {
+		return 0, false
+	}
+	return stats.ZScore(cur, clean), true
+}
+
+// ScanEntity returns the problematic symptoms of one entity at slice now.
+func (d *Detector) ScanEntity(db *telemetry.DB, id telemetry.EntityID, now int) []ScoredSymptom {
+	var out []ScoredSymptom
 	for _, metric := range db.MetricNames(id) {
-		// Read through the copying DB accessors (At/RawWindow), not the
-		// shared Series pointer: the always-on daemon scans for symptoms
-		// while its ingest goroutine appends, and only the DB methods
-		// synchronize with the append path.
-		cur := db.At(id, metric, now)
-		if cur != cur { // NaN: nothing observed now
+		z, ok := d.Score(db, id, metric, now)
+		if !ok {
 			continue
 		}
-		hist := db.RawWindow(id, metric, lo, now)
-		clean := hist[:0]
-		for _, v := range hist {
-			if v == v {
-				clean = append(clean, v)
-			}
-		}
-		if len(clean) < d.MinHistory {
-			continue
-		}
-		z := stats.ZScore(cur, clean)
 		if z >= d.ZThreshold || z <= -d.ZThreshold {
 			out = append(out, ScoredSymptom{
 				Symptom: telemetry.Symptom{Entity: id, Metric: metric, High: z > 0},

@@ -246,6 +246,54 @@ func (s *FactorStore) Stats() FactorStoreStats {
 	}
 }
 
+// FactorHealth is the residual health of one trained factor, keyed by the
+// target metric. The daemon's per-entity performance endpoint serves it so an
+// operator can see whether the model behind a diagnosis is fresh or drifting.
+type FactorHealth struct {
+	// Metric is the factor's target metric on the queried entity.
+	Metric string
+	// Trained reports whether a fitted factor is live for the metric.
+	Trained bool
+	// Features is the number of selected regression features.
+	Features int
+	// Slides counts window slides absorbed since the factor's statistics
+	// were last anchored by a full refit.
+	Slides int
+	// DriftScore is the MASE of the factor's one-step-ahead predictions
+	// against the naive forecast of the current window — 0 while fewer than
+	// the evidence minimum pairs are recorded. DriftThreshold is the score
+	// above which the next training pass forces a refit.
+	DriftScore     float64
+	DriftThreshold float64
+}
+
+// EntityHealth reports the residual health of every factor the store holds
+// for one entity, sorted by metric name. Nil when the store has not trained
+// the entity yet.
+func (s *FactorStore) EntityHealth(id telemetry.EntityID) []FactorHealth {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []FactorHealth
+	for ref, e := range s.entries {
+		if ref.entity != id {
+			continue
+		}
+		h := FactorHealth{
+			Metric:         ref.metric,
+			Trained:        e.f != nil,
+			Features:       len(e.feats),
+			Slides:         e.slides,
+			DriftThreshold: s.driftThreshold,
+		}
+		if sty := s.series[ref]; sty != nil && e.drift != nil {
+			h.DriftScore = e.drift.Score(sty.win, driftMinPairs)
+		}
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Metric < out[j].Metric })
+	return out
+}
+
 // Reset discards all incremental state (the next train re-anchors from
 // scratch). Counters and policy survive.
 func (s *FactorStore) Reset() {

@@ -242,3 +242,31 @@ func TestPrunedCandidatesFollowsBothDirections(t *testing.T) {
 		t.Fatalf("candidates = %v", got)
 	}
 }
+
+func TestReverseDistances(t *testing.T) {
+	// Directed chain n0 -> n1 -> n2, plus n3 hanging off n2 (n2 -> n3).
+	db := buildDB(t, 4, nil, [][2]string{{"n0", "n1"}, {"n1", "n2"}, {"n2", "n3"}})
+	g, err := Build(db, []telemetry.EntityID{"n0"}, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewSubgraphCache(g)
+	toN2 := c.ReverseDistances("n2")
+	want := map[telemetry.EntityID]int{"n0": 2, "n1": 1, "n2": 0, "n3": -1}
+	for id, d := range want {
+		i, ok := g.Index(id)
+		if !ok {
+			t.Fatalf("%s missing from graph", id)
+		}
+		if toN2[i] != d {
+			t.Errorf("dist(%s -> n2) = %d, want %d", id, toN2[i], d)
+		}
+	}
+	// The memoized field is shared with ShortestPathSubgraph's reverse BFS.
+	if again := c.ReverseDistances("n2"); &again[0] != &toN2[0] {
+		t.Error("second call did not reuse the memoized distance field")
+	}
+	if c.ReverseDistances("ghost") != nil {
+		t.Error("unknown destination should return nil")
+	}
+}

@@ -79,6 +79,31 @@ func (c *SubgraphCache) ShortestPathSubgraph(a, d telemetry.EntityID) []telemetr
 	return path
 }
 
+// ReverseDistances returns the memoized reverse-BFS distance field toward d:
+// out[i] is the forward-edge hop count from node index i to d, or -1 when d
+// is unreachable from i. It is the same field ShortestPathSubgraph shares
+// across a diagnosis; the topology query surface reuses it to annotate which
+// neighborhood nodes can influence the center entity. The slice is shared
+// with the cache: treat it as read-only. Returns nil when d is not in the
+// graph.
+func (c *SubgraphCache) ReverseDistances(d telemetry.EntityID) []int {
+	di, ok := c.g.index[d]
+	if !ok {
+		return nil
+	}
+	c.mu.RLock()
+	toD := c.rev[di]
+	c.mu.RUnlock()
+	if toD != nil {
+		return toD
+	}
+	toD = c.g.bfsDist(di, false)
+	c.mu.Lock()
+	c.rev[di] = toD
+	c.mu.Unlock()
+	return toD
+}
+
 // Len returns the number of memoized (candidate, symptom) entries.
 func (c *SubgraphCache) Len() int {
 	c.mu.RLock()

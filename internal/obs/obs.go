@@ -136,6 +136,18 @@ const (
 	CtrIncTrainDriftTrips
 	CtrIncTrainReselects
 	CtrIncTrainSlides
+	// CtrTopologyQueries / CtrPerfQueries / CtrReportQueries count read
+	// queries served by the daemon's operator query surface (topology
+	// neighborhoods, per-entity performance summaries, report searches);
+	// CtrReadShed counts read queries rejected by the read admission limit
+	// or because the daemon was draining.
+	CtrTopologyQueries
+	CtrPerfQueries
+	CtrReportQueries
+	CtrReadShed
+	// CtrReportsPersisted counts completed diagnosis reports durably
+	// appended to the persisted report store.
+	CtrReportsPersisted
 	numCounters
 )
 
@@ -172,6 +184,11 @@ var counterNames = [numCounters]string{
 	"inctrain_drift_trips",
 	"inctrain_reselects",
 	"inctrain_slides",
+	"topology_queries",
+	"perf_queries",
+	"report_queries",
+	"read_shed",
+	"reports_persisted",
 }
 
 // Name returns the stable snake_case counter name.

@@ -105,13 +105,16 @@ func (s *Server) writeShed(w http.ResponseWriter, retryAfter int, msg string) {
 
 // Mux returns the daemon's HTTP handler: the System's observability mux
 // (/metrics, /stats, /debug/vars, optionally /debug/pprof) extended with the
-// service surface — POST /ingest, POST /diagnose, GET /reports, and the
+// service surface — POST /ingest, POST /diagnose, the operator query surface
+// (GET /reports, GET /topology, GET /entities/{ref}/performance), and the
 // /healthz /readyz /statusz probes.
 func (s *Server) Mux() *http.ServeMux {
 	mux := s.sys.ObservabilityMux(s.cfg.Pprof)
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/diagnose", s.handleDiagnose)
 	mux.HandleFunc("/reports", s.handleReports)
+	mux.HandleFunc("/topology", s.handleTopology)
+	mux.HandleFunc("/entities/", s.handleEntityPerf)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/statusz", s.handleStatusz)
@@ -264,29 +267,6 @@ func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
 		// report ring (the buffered result channel absorbs the record).
 		writeErr(w, http.StatusRequestTimeout, "client cancelled while waiting for diagnosis")
 	}
-}
-
-// handleReports serves the in-memory report ring; ?since=SEQ filters to
-// records newer than a sequence number the client has already seen.
-func (s *Server) handleReports(w http.ResponseWriter, r *http.Request) {
-	since := 0
-	if v := r.URL.Query().Get("since"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "bad since: "+err.Error())
-			return
-		}
-		since = n
-	}
-	s.mu.Lock()
-	out := make([]*ReportRecord, 0, len(s.reports))
-	for _, rec := range s.reports {
-		if rec.Seq > since {
-			out = append(out, rec)
-		}
-	}
-	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, out)
 }
 
 // handleHealthz is liveness: 200 while the process can answer at all, 503

@@ -25,6 +25,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -35,6 +36,7 @@ import (
 	"murphy"
 	"murphy/internal/anomaly"
 	"murphy/internal/obs"
+	"murphy/internal/reportstore"
 	"murphy/internal/telemetry"
 )
 
@@ -123,8 +125,23 @@ type Config struct {
 	// force-cancelling it (default 30 s).
 	DrainTimeout time.Duration
 	// ReportBuffer is how many completed reports the in-memory ring keeps
-	// for the query API (default 128).
+	// for the query API (default 128). With ReportDir set the ring remains
+	// as the snapshot-embedded hot cache; the persisted store is the query
+	// source.
 	ReportBuffer int
+	// ReportDir, when set, persists every completed report to an append-only
+	// crash-safe segment store under the directory; GET /reports then
+	// searches the store (entity/app/cause/time-range, paginated) instead of
+	// the ring, and a diagnosis is acknowledged to its client only after the
+	// durable append. "" keeps the ring-only behavior.
+	ReportDir string
+	// ReportRetention caps the records the persisted store keeps (default
+	// 10000); older records are compacted away. Ignored without ReportDir.
+	ReportRetention int
+	// MaxConcurrentReads is the admission limit on simultaneously served
+	// read queries — topology, per-entity performance, report search
+	// (default 16; excess answers 429 + Retry-After).
+	MaxConcurrentReads int
 	// Pprof exposes /debug/pprof on the daemon mux when true.
 	Pprof bool
 	// Recorder, when set, receives the daemon's counters (and, via
@@ -169,6 +186,12 @@ func (c Config) withDefaults() Config {
 	if c.ReportBuffer <= 0 {
 		c.ReportBuffer = 128
 	}
+	if c.ReportRetention <= 0 {
+		c.ReportRetention = 10000
+	}
+	if c.MaxConcurrentReads <= 0 {
+		c.MaxConcurrentReads = 16
+	}
 	return c
 }
 
@@ -205,6 +228,10 @@ type ReportRecord struct {
 	// diagnosed, in milliseconds.
 	QueuedMs float64 `json:"queued_ms"`
 	WallMs   float64 `json:"wall_ms"`
+	// CompletedAt is the completion wall-clock time (UTC); report search
+	// time-range filters run against it. Zero on records recovered from
+	// snapshots written before the field existed.
+	CompletedAt time.Time `json:"completed_at"`
 }
 
 // Server is the always-on diagnosis daemon over one monitoring database.
@@ -221,7 +248,13 @@ type Server struct {
 	state     atomic.Int32
 	queue     chan *job
 	ingestSem chan struct{}
+	readSem   chan struct{}
 	wg        sync.WaitGroup
+
+	// store is the persisted report store (nil without Config.ReportDir).
+	// Appends happen under mu so records land in seq order; queries go
+	// straight to the store's own lock.
+	store *reportstore.Store
 
 	started time.Time
 
@@ -266,14 +299,30 @@ func New(db *telemetry.DB, cfg Config, sysOpts ...murphy.Option) (*Server, error
 		cancel:      cancel,
 		queue:       make(chan *job, cfg.QueueCap),
 		ingestSem:   make(chan struct{}, cfg.MaxConcurrentIngest),
+		readSem:     make(chan struct{}, cfg.MaxConcurrentReads),
 		pending:     make(map[telemetry.Symptom]bool),
 		quarantine:  make(map[telemetry.Symptom]time.Time),
 		recent:      make(map[telemetry.Symptom]time.Time),
 		lastScanned: -1,
 	}
+	if cfg.ReportDir != "" {
+		store, err := reportstore.Open(cfg.ReportDir, reportstore.Options{MaxRecords: cfg.ReportRetention})
+		if err != nil {
+			cancel()
+			return nil, fmt.Errorf("serve: open report store: %w", err)
+		}
+		s.store = store
+		// Resume the completion sequence past everything already persisted;
+		// Recover later raises it further if the snapshot is ahead.
+		s.seq = int(store.LastSeq())
+	}
 	s.state.Store(int32(StateStarting))
 	return s, nil
 }
+
+// ReportStore exposes the persisted report store (nil without
+// Config.ReportDir); tests and the CLI use it to inspect durability.
+func (s *Server) ReportStore() *reportstore.Store { return s.store }
 
 // State returns the daemon's lifecycle state.
 func (s *Server) State() State { return State(s.state.Load()) }
@@ -425,12 +474,16 @@ func (s *Server) runJob(j *job) {
 	s.complete(j, rec, elapsed)
 }
 
-// complete stamps, stores, and delivers one finished record.
+// complete stamps, stores, and delivers one finished record. With a persisted
+// store configured the record is durably appended (fsync) before it is
+// delivered to the waiting client — an HTTP 200 on /diagnose therefore
+// implies the report survives kill -9.
 func (s *Server) complete(j *job, rec *ReportRecord, elapsed time.Duration) {
 	s.rec.Add(obs.CtrDiagCompleted, 1)
 	s.mu.Lock()
 	s.seq++
 	rec.Seq = s.seq
+	rec.CompletedAt = time.Now().UTC()
 	s.reports = append(s.reports, rec)
 	if len(s.reports) > s.cfg.ReportBuffer {
 		s.reports = s.reports[len(s.reports)-s.cfg.ReportBuffer:]
@@ -446,10 +499,53 @@ func (s *Server) complete(j *job, rec *ReportRecord, elapsed time.Duration) {
 		s.recent[j.symptom] = time.Now()
 	}
 	s.dirty = true
+	if s.store != nil {
+		// Persist under mu: seq assignment and the append share the lock, so
+		// the segment stays in seq order across concurrent workers. The
+		// fsync costs ~1ms — noise next to the diagnosis it concludes.
+		if srec := s.storeRecord(rec); srec != nil {
+			if _, err := s.store.Append(srec); err == nil {
+				s.rec.Add(obs.CtrReportsPersisted, 1)
+			}
+			// An append error (disk full, store closed mid-shutdown) keeps
+			// the report in the ring; the reports_persisted counter falling
+			// behind diag_completed is the operator signal.
+		}
+	}
 	s.mu.Unlock()
 	if j.result != nil {
 		j.result <- rec
 	}
+}
+
+// storeRecord maps a completed record to its persisted form: the indexed
+// search fields plus the full wire record as payload.
+func (s *Server) storeRecord(rec *ReportRecord) *reportstore.Record {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil
+	}
+	srec := &reportstore.Record{
+		Seq:     int64(rec.Seq),
+		At:      rec.CompletedAt,
+		Source:  rec.Source,
+		Entity:  string(rec.Symptom.Entity),
+		Metric:  rec.Symptom.Metric,
+		Failed:  rec.Err != "",
+		Payload: payload,
+	}
+	if ent := s.db.Entity(rec.Symptom.Entity); ent != nil {
+		srec.App = ent.App
+	}
+	if rec.Report != nil {
+		for _, c := range rec.Report.Causes {
+			if c.Degraded {
+				continue // certified causes only; guesses are not searchable
+			}
+			srec.Causes = append(srec.Causes, string(c.Entity))
+		}
+	}
+	return srec
 }
 
 // detectorLoop scans fresh windows for problematic symptoms and feeds them
@@ -590,6 +686,11 @@ wait:
 					drainErr = fmt.Errorf("serve: final snapshot: %w", err)
 				}
 			}
+			if s.store != nil {
+				if err := s.store.Close(); err != nil && drainErr == nil {
+					drainErr = fmt.Errorf("serve: close report store: %w", err)
+				}
+			}
 			s.state.Store(int32(StateStopped))
 			return drainErr
 		}
@@ -614,6 +715,11 @@ func (s *Server) Close() {
 				j.result <- &ReportRecord{Symptom: j.symptom, Err: ErrDrainCancelled.Error()}
 			}
 		default:
+			if s.store != nil {
+				// Every acknowledged report was already fsynced; closing just
+				// releases the handle.
+				_ = s.store.Close()
+			}
 			s.state.Store(int32(StateStopped))
 			return
 		}

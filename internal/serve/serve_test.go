@@ -106,6 +106,27 @@ func get(h http.Handler, path string) *httptest.ResponseRecorder {
 	return w
 }
 
+// decodeReportPage unwraps a GET /reports envelope back into report records.
+func decodeReportPage(t *testing.T, body []byte) []*ReportRecord {
+	t.Helper()
+	var page ReportPage
+	if err := json.Unmarshal(body, &page); err != nil {
+		t.Fatalf("decode report page: %v\n%s", err, body)
+	}
+	if page.Count != len(page.Reports) {
+		t.Fatalf("page count %d != %d reports", page.Count, len(page.Reports))
+	}
+	out := make([]*ReportRecord, 0, len(page.Reports))
+	for _, raw := range page.Reports {
+		rec := new(ReportRecord)
+		if err := json.Unmarshal(raw, rec); err != nil {
+			t.Fatalf("decode report payload: %v\n%s", err, raw)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
 func TestIngestAppendsAndProbesReport(t *testing.T) {
 	sc := newTestScenario(t)
 	srv := newTestServer(t, sc, nil)
@@ -327,10 +348,7 @@ func TestKillAndRestartRecoversSnapshotAndDiagnosis(t *testing.T) {
 
 	// The pre-kill report survived into the ring with its sequence number.
 	rw := get(mux2, "/reports")
-	var ring []*ReportRecord
-	if err := json.Unmarshal(rw.Body.Bytes(), &ring); err != nil {
-		t.Fatal(err)
-	}
+	ring := decodeReportPage(t, rw.Body.Bytes())
 	if len(ring) != 1 || ring[0].Seq != 1 || ring[0].Symptom != sc.Symptom {
 		t.Fatalf("recovered report ring = %v, want the single pre-kill report", ring)
 	}
@@ -425,12 +443,8 @@ func TestDetectorEnqueuesFreshSymptoms(t *testing.T) {
 		if w := post(t, mux, "/ingest", batch); w.Code != http.StatusOK && w.Code != http.StatusTooManyRequests {
 			t.Fatalf("/ingest = %d: %s", w.Code, w.Body.String())
 		}
-		var ring []*ReportRecord
 		rw := get(mux, "/reports")
-		if err := json.Unmarshal(rw.Body.Bytes(), &ring); err != nil {
-			t.Fatal(err)
-		}
-		for _, rec := range ring {
+		for _, rec := range decodeReportPage(t, rw.Body.Bytes()) {
 			if rec.Source == "detector" {
 				if rec.Report == nil {
 					t.Fatalf("detector diagnosis has no report: %+v", rec)

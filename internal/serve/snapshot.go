@@ -147,7 +147,11 @@ func (s *Server) Recover(snap *daemonSnapshot) {
 	}
 	now := time.Now()
 	s.mu.Lock()
-	s.seq = snap.Seq
+	if snap.Seq > s.seq {
+		// New already advanced seq past the persisted report store's last
+		// record; only move forward, never rewind onto acknowledged seqs.
+		s.seq = snap.Seq
+	}
 	s.reports = append([]*ReportRecord(nil), snap.Reports...)
 	if len(s.reports) > s.cfg.ReportBuffer {
 		s.reports = s.reports[len(s.reports)-s.cfg.ReportBuffer:]

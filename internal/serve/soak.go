@@ -9,6 +9,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/url"
 	"runtime"
 	"sort"
 	"strings"
@@ -38,6 +39,11 @@ type SoakOptions struct {
 	// IngestWorkers is how many goroutines stream telemetry batches
 	// concurrently (set above the ingest admission limit to force sheds).
 	IngestWorkers int
+	// ReadWorkers is the burst size of the read-path hammer: each round
+	// fires this many simultaneous topology / performance / report-search
+	// queries. The drill caps the daemon's MaxConcurrentReads at half this
+	// burst, so the read surface runs at 2× overload and must shed.
+	ReadWorkers int
 	// DiagnoseDeadline bounds each hammer diagnosis (short, so some expire
 	// into partial reports under chaos latency).
 	DiagnoseDeadline time.Duration
@@ -62,6 +68,7 @@ func DefaultSoakOptions() SoakOptions {
 		Workers:          2,
 		OverloadFactor:   2,
 		IngestWorkers:    8,
+		ReadWorkers:      4,
 		DiagnoseDeadline: 1200 * time.Millisecond,
 		Chaos: chaos.Config{
 			Seed:        7,
@@ -100,6 +107,9 @@ func (o SoakOptions) withDefaults() SoakOptions {
 	if o.IngestWorkers <= 0 {
 		o.IngestWorkers = d.IngestWorkers
 	}
+	if o.ReadWorkers <= 0 {
+		o.ReadWorkers = d.ReadWorkers
+	}
 	if o.DiagnoseDeadline <= 0 {
 		o.DiagnoseDeadline = d.DiagnoseDeadline
 	}
@@ -127,6 +137,18 @@ type SoakResult struct {
 	DiagnoseShed     int `json:"diagnose_shed"` // 429/503
 	PartialReports   int `json:"partial_reports"`
 	FullReports      int `json:"full_reports"`
+
+	// Read-side counts: the operator query surface (GET /topology,
+	// /entities/{ref}/performance, /reports) hammered at 2× its admission
+	// limit alongside the write-path overload.
+	ReadRequests    int `json:"read_requests"`
+	ReadOK          int `json:"read_ok"`
+	ReadShed        int `json:"read_shed"` // 429/503
+	ReadBurst       int `json:"read_burst"`
+	ReadConcurrency int `json:"read_concurrency"`
+	// ReadDrainShed records whether a query issued while the daemon was
+	// draining answered 503 (reads must follow the same lifecycle as writes).
+	ReadDrainShed bool `json:"read_drain_shed"`
 
 	// Degradation-ladder evidence.
 	UnexpectedStatus  map[string]int `json:"unexpected_status,omitempty"`
@@ -173,6 +195,15 @@ func (r *SoakResult) Violations() []string {
 	if r.MaxQueueDepth > r.QueueCap {
 		v = append(v, fmt.Sprintf("queue depth %d exceeded capacity %d", r.MaxQueueDepth, r.QueueCap))
 	}
+	if r.ReadOK == 0 && r.ReadRequests > 0 {
+		v = append(v, "no read query succeeded during overload")
+	}
+	if r.ReadShed == 0 && r.ReadBurst > r.ReadConcurrency {
+		v = append(v, fmt.Sprintf("no read sheds despite bursts of %d against a %d-slot read limit", r.ReadBurst, r.ReadConcurrency))
+	}
+	if r.ReadRequests > 0 && !r.ReadDrainShed {
+		v = append(v, "read query during drain did not answer 503")
+	}
 	if r.GoroutineDelta > 2 {
 		v = append(v, fmt.Sprintf("goroutine delta %d after drain (leak)", r.GoroutineDelta))
 	}
@@ -202,6 +233,7 @@ func (r *SoakResult) String() string {
 		r.Opts.Chaos.FaultRate, r.Opts.Chaos.LatencyRate, r.Opts.Chaos.CorruptRate)
 	fmt.Fprintf(&b, "  ingest    %6d req  %6d ok  %6d shed  %8d points\n", r.IngestRequests, r.IngestOK, r.IngestShed, r.IngestPoints)
 	fmt.Fprintf(&b, "  diagnose  %6d req  %6d ok  %6d shed  (%d full, %d partial)\n", r.DiagnoseRequests, r.DiagnoseOK, r.DiagnoseShed, r.FullReports, r.PartialReports)
+	fmt.Fprintf(&b, "  reads     %6d req  %6d ok  %6d shed  (burst %d vs %d slots)\n", r.ReadRequests, r.ReadOK, r.ReadShed, r.ReadBurst, r.ReadConcurrency)
 	fmt.Fprintf(&b, "  latency   p50=%.0fms p99=%.0fms  queue depth max %d/%d  goroutine delta %+d\n",
 		r.P50DiagMs, r.P99DiagMs, r.MaxQueueDepth, r.QueueCap, r.GoroutineDelta)
 	fmt.Fprintf(&b, "  ladder    ready-before=%v drain-flip=%v final-ok=%v final-ranked=%v", r.ReadyBefore, r.ReadyDuringDrain, r.FinalOK, r.FinalRanked)
@@ -254,10 +286,17 @@ func RunSoak(opts SoakOptions) (*SoakResult, error) {
 	cfg.Samples = opts.Samples
 	cfg.TrainWindow = opts.TrainWindow
 	retry := murphy.RetryPolicy{MaxAttempts: 3}
+	readSlots := opts.ReadWorkers / 2
+	if readSlots < 1 {
+		readSlots = 1
+	}
+	res.ReadBurst = opts.ReadWorkers
+	res.ReadConcurrency = readSlots
 	srv, err := New(db, Config{
 		QueueCap:            opts.QueueCap,
 		Workers:             opts.Workers,
 		MaxConcurrentIngest: 2,
+		MaxConcurrentReads:  readSlots,
 		DefaultDeadline:     opts.DiagnoseDeadline,
 		WatchdogTimeout:     30 * time.Second,
 		DetectEvery:         75 * time.Millisecond,
@@ -429,7 +468,81 @@ func RunSoak(opts SoakOptions) (*SoakResult, error) {
 			bw.Wait()
 		}
 	}()
+
+	// Read hammer: rounds of ReadWorkers simultaneous operator queries —
+	// topology neighborhoods, per-entity performance summaries, and report
+	// searches — against a read admission limit of half the burst, so the
+	// query surface runs at 2× overload and must shed with 429 + Retry-After
+	// while the write path is also saturated.
+	readTargets := make([]string, 0, 2*len(ents)+1)
+	for _, id := range ents {
+		readTargets = append(readTargets,
+			"/topology?entity="+url.QueryEscape(string(id))+"&depth=2",
+			"/entities/"+string(id)+"/performance?window=64",
+		)
+	}
+	readTargets = append(readTargets, "/reports?limit=100")
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		round := 0
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			var bw sync.WaitGroup
+			for i := 0; i < opts.ReadWorkers; i++ {
+				bw.Add(1)
+				target := readTargets[(round+i)%len(readTargets)]
+				go func() {
+					defer bw.Done()
+					code, body := getJSON(client, base+target)
+					mu.Lock()
+					defer mu.Unlock()
+					res.ReadRequests++
+					switch {
+					case code == http.StatusOK:
+						res.ReadOK++
+					case code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable:
+						res.ReadShed++
+						if !retryAfterPresent(body) {
+							res.ShedsMissingRetry++
+						}
+					default:
+						if !okStatus(code) {
+							res.UnexpectedStatus[fmt.Sprintf("read:%d", code)]++
+						}
+					}
+				}()
+			}
+			bw.Wait()
+			round++
+		}
+	}()
 	wg.Wait()
+
+	// Read-saturation probe: the natural hammer races fast handlers, so
+	// whether its bursts collide inside the admission window is timing luck.
+	// Pin the ladder deterministically — occupy every read slot directly and
+	// verify the excess query sheds 429 with Retry-After.
+	for i := 0; i < readSlots; i++ {
+		srv.readSem <- struct{}{}
+	}
+	satCode, satBody := getJSON(client, base+readTargets[0])
+	res.ReadRequests++
+	if satCode == http.StatusTooManyRequests || satCode == http.StatusServiceUnavailable {
+		res.ReadShed++
+		if !retryAfterPresent(satBody) {
+			res.ShedsMissingRetry++
+		}
+	} else {
+		res.UnexpectedStatus[fmt.Sprintf("read-saturated:%d", satCode)]++
+	}
+	for i := 0; i < readSlots; i++ {
+		<-srv.readSem
+	}
 
 	// Final-accuracy probe: after the overload phase, one generous-deadline
 	// diagnosis must still rank the planted cause near the top.
@@ -455,6 +568,11 @@ func RunSoak(opts SoakOptions) (*SoakResult, error) {
 	for time.Now().Before(flipDeadline) {
 		if getStatus(client, base+"/readyz") == http.StatusServiceUnavailable {
 			res.ReadyDuringDrain = true
+			// Reads follow the same lifecycle: a draining daemon must answer
+			// its query surface with 503, not serve stale results.
+			if c, _ := getJSON(client, base+readTargets[0]); c == http.StatusServiceUnavailable {
+				res.ReadDrainShed = true
+			}
 			break
 		}
 		time.Sleep(5 * time.Millisecond)
@@ -462,7 +580,12 @@ func RunSoak(opts SoakOptions) (*SoakResult, error) {
 	if err := <-drainDone; err != nil {
 		res.DrainErr = err.Error()
 	}
-	if err := ShutdownHTTP(hs, 5*time.Second); err != nil && res.DrainErr == "" {
+	// Drop the hammer clients' pooled connections first: a freshly dialed,
+	// never-used conn sits in StateNew on the server, and Shutdown only
+	// treats those as closable after a 5 s grace — so the timeout must
+	// comfortably exceed that grace or an idle keep-alive races it.
+	client.CloseIdleConnections()
+	if err := ShutdownHTTP(hs, 10*time.Second); err != nil && res.DrainErr == "" {
 		res.DrainErr = "http shutdown: " + err.Error()
 	}
 
@@ -548,6 +671,18 @@ func postJSON(client *http.Client, url string, v any) (int, []byte, int) {
 func retryAfterPresent(body []byte) bool {
 	var e errorBody
 	return json.Unmarshal(body, &e) == nil && e.RetryAfter > 0
+}
+
+// getJSON fetches url and returns (status, body). A transport error returns
+// status 0, which the callers count as unexpected.
+func getJSON(client *http.Client, url string) (int, []byte) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return 0, nil
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	return resp.StatusCode, body
 }
 
 func getStatus(client *http.Client, url string) int {

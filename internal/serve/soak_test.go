@@ -37,6 +37,9 @@ func TestChaosSoakLadder(t *testing.T) {
 	if res.DiagnoseRequests < res.OfferedBurst {
 		t.Errorf("drill offered only %d diagnoses, want at least one full burst of %d", res.DiagnoseRequests, res.OfferedBurst)
 	}
+	if res.ReadRequests < res.ReadBurst {
+		t.Errorf("drill offered only %d reads, want at least one full burst of %d", res.ReadRequests, res.ReadBurst)
+	}
 	// And the periodic snapshot loop must have persisted state: a restart
 	// can recover the database the drill built.
 	db, restore, err := RecoverFromDisk(opts.SnapshotPath)
